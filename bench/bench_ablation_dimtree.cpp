@@ -1,0 +1,79 @@
+// Extension bench: dimension-tree MTTKRP sweeps (Kaya & Uçar [14], cited
+// by the paper's related work) vs the naive mode-by-mode sequence.
+//
+// CSTF-QCOO shares *communication* between the MTTKRPs of an iteration;
+// dimension trees share *computation*. This bench quantifies the compute
+// side: per-iteration MTTKRP flops and single-node wall time, naive vs
+// tree, as tensor order grows — the axis on which the O(N^2) -> O(N log N)
+// gap opens.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "cstf/cstf.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/reference_ops.hpp"
+
+using namespace cstf;
+
+namespace {
+
+double timeNaiveSweep(const tensor::CooTensor& t,
+                      std::vector<la::Matrix> factors) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (ModeId n = 0; n < t.order(); ++n) {
+    la::Matrix m = tensor::referenceMttkrp(t, factors, n);
+    factors[n] = std::move(m);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double timeTreeSweep(const tensor::CooTensor& t,
+                     std::vector<la::Matrix> factors,
+                     std::uint64_t* flops) {
+  const auto t0 = std::chrono::steady_clock::now();
+  cstf_core::dimTreeSweep(
+      t, factors,
+      [&](ModeId n, la::Matrix m) { factors[n] = std::move(m); }, flops);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader(
+      "Extension: dimension-tree vs naive MTTKRP sweeps (sequential)");
+  std::printf("%-7s %12s %12s %14s %14s %10s\n", "order", "naive units",
+              "tree units", "naive wall", "tree wall", "speedup");
+
+  const std::size_t rank = 8;
+  for (ModeId order : {ModeId{3}, ModeId{4}, ModeId{5}, ModeId{6},
+                       ModeId{8}}) {
+    std::vector<Index> dims(order, 2000);
+    tensor::GeneratorOptions gen;
+    gen.dims = dims;
+    gen.nnz = static_cast<std::size_t>(200000 * bench::benchScale());
+    gen.seed = 90 + order;
+    const tensor::CooTensor t = tensor::generateRandom(gen);
+    auto factors = cstf_core::randomFactors(dims, rank, 5);
+
+    const auto cost = cstf_core::analyticDimTreeCost(order);
+    std::uint64_t flops = 0;
+    const double naiveSec = timeNaiveSweep(t, factors);
+    const double treeSec = timeTreeSweep(t, factors, &flops);
+    std::printf("%-7d %12.0f %12.0f %13.1fms %13.1fms %9.2fx\n", int(order),
+                cost.naiveUnits, cost.treeUnits, naiveSec * 1e3,
+                treeSec * 1e3, naiveSec / treeSec);
+  }
+  std::printf(
+      "\nunits are vector-ops per nonzero per iteration (N^2 naive vs "
+      "~N log N tree). Wall time lags the unit ratio: the tree materializes "
+      "nnz x R partial buffers per level (extra memory traffic) where the "
+      "naive sweep keeps its running product in registers — so the tree "
+      "only wins once the order is high enough to amortize it, matching "
+      "the dimension-tree literature's focus on high-order tensors.\n");
+  return 0;
+}

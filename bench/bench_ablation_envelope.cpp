@@ -1,0 +1,69 @@
+// Ablation: the per-record serialization envelope and QCOO's measured
+// shuffle savings.
+//
+// EXPERIMENTS.md (Figure 4 discussion) claims the exact savings percentage
+// depends on how much framing the serializer wraps around each record:
+// with zero envelope only payload bytes count (QCOO's per-record payload
+// is fatter, so savings shrink on 3rd-order tensors), while with a large
+// envelope savings approach the stream-count ratio (1 - 2/N per the §5
+// analysis). This bench makes that sensitivity explicit — the honest
+// explanation for the 26%-vs-35% (3rd-order) and 44%-vs-31% (4th-order)
+// deltas between this reproduction and the paper.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "cstf/cstf.hpp"
+#include "tensor/generator.hpp"
+
+using namespace cstf;
+using cstf_core::Backend;
+
+namespace {
+
+std::uint64_t iterationShuffleBytes(Backend b, const tensor::CooTensor& t,
+                                    std::size_t envelope) {
+  auto runOnce = [&](int iters) {
+    sparkle::ClusterConfig cfg = bench::paperCluster(8);
+    cfg.recordEnvelopeBytes = envelope;
+    sparkle::Context ctx(cfg, 0, 24);
+    cstf_core::CpAlsOptions o;
+    o.rank = 2;
+    o.maxIterations = iters;
+    o.backend = b;
+    o.computeFit = false;
+    cstf_core::cpAls(ctx, t, o);
+    const auto m = ctx.metrics().totals();
+    return m.shuffleBytesRemote + m.shuffleBytesLocal;
+  };
+  return runOnce(2) - runOnce(1);  // steady-state iteration
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader(
+      "Ablation: serialization envelope vs QCOO shuffle savings (8 nodes)");
+
+  for (const char* dataset : {"delicious3d-s", "flickr-s"}) {
+    const tensor::CooTensor t =
+        tensor::paperAnalog(dataset, bench::benchScale());
+    bench::printSubHeader(strprintf("%s (order %d)", dataset,
+                                    int(t.order())));
+    std::printf("%-18s %14s %14s %10s\n", "envelope (B/rec)", "COO bytes",
+                "QCOO bytes", "saving");
+    for (std::size_t env : {0u, 24u, 48u, 96u, 192u}) {
+      const auto coo = iterationShuffleBytes(Backend::kCoo, t, env);
+      const auto qcoo = iterationShuffleBytes(Backend::kQcoo, t, env);
+      std::printf("%-18zu %14s %14s %9.0f%%\n", env,
+                  humanBytes(double(coo)).c_str(),
+                  humanBytes(double(qcoo)).c_str(),
+                  100.0 * (1.0 - double(qcoo) / double(coo)));
+    }
+  }
+  std::printf(
+      "\npaper's measurements: 35%% (3rd-order delicious) and 31%% "
+      "(4th-order flickr); its own analysis (section 5) predicts 33%% and "
+      "25%%. The table shows which envelope regime each sits in.\n");
+  return 0;
+}

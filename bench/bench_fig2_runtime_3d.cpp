@@ -1,0 +1,59 @@
+// Figure 2: CP-ALS per-iteration runtime vs cluster size on 3rd-order
+// tensors (delicious3d, nell1, synt3d), for CSTF-COO, CSTF-QCOO and
+// BIGtensor (Hadoop mode).
+//
+// The paper's shapes to reproduce: both CSTF variants several-fold faster
+// than BIGtensor at every node count (2.2x-6.9x); QCOO roughly level with
+// or slightly behind COO at 4 nodes and ahead at 16-32 nodes.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "tensor/generator.hpp"
+
+using namespace cstf;
+using cstf_core::Backend;
+
+int main() {
+  const std::vector<int> nodeCounts{4, 8, 16, 32};
+  const std::vector<Backend> backends{Backend::kCoo, Backend::kQcoo,
+                                      Backend::kBigtensor};
+  const int iters = bench::benchIterations();
+
+  bench::printHeader(strprintf(
+      "Figure 2: CP-ALS iteration runtime vs nodes, 3rd-order (R=2, "
+      "%d iterations, scale %.2f)",
+      iters, bench::benchScale()));
+
+  for (const char* dataset : {"delicious3d-s", "nell1-s", "synt3d-s"}) {
+    const tensor::CooTensor t =
+        tensor::paperAnalog(dataset, bench::benchScale());
+    bench::printSubHeader(strprintf("%s (nnz=%zu)", dataset, t.nnz()));
+    std::printf("%-8s %12s %12s %12s %10s %10s\n", "Nodes", "COO(s)",
+                "QCOO(s)", "BIGtensor(s)", "COO-spdup", "QCOO-spdup");
+
+    std::vector<double> cooOverBig;
+    std::vector<double> qcooOverBig;
+    for (int nodes : nodeCounts) {
+      double sec[3] = {0, 0, 0};
+      for (std::size_t b = 0; b < backends.size(); ++b) {
+        sec[b] =
+            bench::runCpAls(backends[b], t, nodes, iters).secPerIteration;
+      }
+      std::printf("%-8d %12.3f %12.3f %12.3f %9.1fx %9.1fx\n", nodes, sec[0],
+                  sec[1], sec[2], sec[2] / sec[0], sec[2] / sec[1]);
+      cooOverBig.push_back(sec[2] / sec[0]);
+      qcooOverBig.push_back(sec[2] / sec[1]);
+    }
+    std::printf(
+        "summary: COO %.1fx-%.1fx over BIGtensor, QCOO %.1fx-%.1fx "
+        "(paper: COO 2.2x-6.9x, QCOO 3.7x-6.5x across datasets)\n",
+        *std::min_element(cooOverBig.begin(), cooOverBig.end()),
+        *std::max_element(cooOverBig.begin(), cooOverBig.end()),
+        *std::min_element(qcooOverBig.begin(), qcooOverBig.end()),
+        *std::max_element(qcooOverBig.begin(), qcooOverBig.end()));
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Table 4: Cost comparison of BIGtensor, CSTF-COO and CSTF-QCOO for a
+// 3rd-order mode-1 MTTKRP — analytic model vs counters measured by the
+// engine on a real run.
+//
+// Measured flops should equal the analytic column exactly (the backends
+// attribute per-record flop hints matching the paper's accounting);
+// shuffle-op counts must match exactly; intermediate data is reported in
+// the paper's nnz*R units next to the engine's measured shuffle payloads.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "tensor/generator.hpp"
+
+using namespace cstf;
+using cstf_core::Backend;
+
+namespace {
+
+struct Measured {
+  std::uint64_t flops = 0;
+  std::uint64_t shuffleOps = 0;
+  std::uint64_t shuffleRecords = 0;
+  std::uint64_t shuffleBytes = 0;
+};
+
+Measured measureOneMttkrp(Backend b, const tensor::CooTensor& t,
+                          std::size_t rank) {
+  sparkle::Context ctx(bench::paperCluster(8, bench::modeFor(b)), 0, 64);
+  auto fs = cstf_core::randomFactors(t.dims(), rank, 1);
+  auto X = cstf_core::tensorToRdd(ctx, t);
+  X.cache();
+  X.materialize();  // exclude tensor distribution from the MTTKRP counters
+  ctx.metrics().reset();
+
+  switch (b) {
+    case Backend::kCoo:
+      cstf_core::mttkrpCoo(ctx, X, t.dims(), fs, 0);
+      break;
+    case Backend::kQcoo: {
+      // Steady state: run a full sweep first so the queue exists, then
+      // measure the next MTTKRP (mode 1 of the second sweep == mode-1
+      // semantics of Table 4 at steady state).
+      cstf_core::QcooEngine engine(ctx, X, t.dims(), fs);
+      for (ModeId m = 0; m < t.order(); ++m) engine.mttkrpNext(fs);
+      ctx.metrics().reset();
+      engine.mttkrpNext(fs);
+      break;
+    }
+    case Backend::kBigtensor:
+      cstf_core::mttkrpBigtensor(ctx, X, t.dims(), fs, 0);
+      break;
+    case Backend::kReference:
+      break;
+  }
+
+  const auto totals = ctx.metrics().totals();
+  Measured m;
+  m.flops = totals.flops;
+  m.shuffleOps = totals.shuffleOps;
+  m.shuffleRecords = totals.shuffleRecords;
+  m.shuffleBytes = totals.shuffleBytesRemote + totals.shuffleBytesLocal;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t rank = 2;
+  const tensor::CooTensor t =
+      tensor::paperAnalog("synt3d-s", bench::benchScale());
+  const auto nnz = static_cast<std::uint64_t>(t.nnz());
+
+  bench::printHeader(strprintf(
+      "Table 4: mode-1 MTTKRP cost, 3rd-order (nnz=%llu, R=%zu)",
+      static_cast<unsigned long long>(nnz), rank));
+
+  std::printf("%-12s | %-22s | %-26s | %-8s\n", "Algorithm",
+              "Flops (analytic=measured)", "Intermediate data", "Shuffles");
+  std::printf("%s\n", std::string(84, '-').c_str());
+
+  for (Backend b : {Backend::kBigtensor, Backend::kCoo, Backend::kQcoo}) {
+    const auto analytic = cstf_core::analyticMttkrpCost(
+        b, t.order(), nnz, rank, t.dim(1), t.dim(2));
+    const auto measured = measureOneMttkrp(b, t, rank);
+
+    std::string inter;
+    if (b == Backend::kBigtensor) {
+      inter = strprintf("max(J+nnz,K+nnz)=%.0f", analytic.intermediateData);
+    } else {
+      inter = strprintf("%.0f x nnz x R",
+                        analytic.intermediateData / (double(nnz) * rank));
+    }
+    std::printf("%-12s | %.3g vs %.3g | %-26s | %d vs %llu\n",
+                cstf_core::backendName(b), analytic.flops,
+                double(measured.flops), inter.c_str(), analytic.shuffles,
+                static_cast<unsigned long long>(measured.shuffleOps));
+    std::printf("%-12s |   measured shuffle: %llu records, %s\n", "",
+                static_cast<unsigned long long>(measured.shuffleRecords),
+                humanBytes(double(measured.shuffleBytes)).c_str());
+  }
+
+  bench::printSubHeader("Per-CP-iteration analysis (paper section 5)");
+  for (ModeId order : {ModeId{3}, ModeId{4}, ModeId{5}}) {
+    const auto coo = cstf_core::analyticCpIterationCost(Backend::kCoo, order);
+    const auto qcoo =
+        cstf_core::analyticCpIterationCost(Backend::kQcoo, order);
+    std::printf(
+        "order %d: COO %2d shuffles / %4.0f nnzR join volume,"
+        " QCOO %2d shuffles / %4.0f nnzR -> predicted saving %.0f%%\n",
+        int(order), coo.shuffles, coo.joinCommUnits, qcoo.shuffles,
+        qcoo.joinCommUnits, 100.0 * cstf_core::predictedQcooSavings(order));
+  }
+  return 0;
+}

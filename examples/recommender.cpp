@@ -1,0 +1,128 @@
+// Context-aware recommendation from a user x item x daypart rating tensor —
+// the classic CP-decomposition application the paper's introduction
+// motivates (tensors representing multi-dimensional behavioural data).
+//
+// We plant a ground truth: three taste communities, each preferring a
+// disjoint item group, with community 2's preferences flipping between
+// morning and evening. CP-ALS on the sparse observed ratings should
+// recover enough structure to rank unseen in-community items above
+// out-of-community ones.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "cstf/cstf.hpp"
+#include "tensor/coo_tensor.hpp"
+
+using namespace cstf;
+
+namespace {
+
+constexpr Index kUsers = 120;
+constexpr Index kItems = 90;
+constexpr Index kDayparts = 4;  // morning / midday / evening / night
+constexpr int kCommunities = 3;
+
+int communityOf(Index user) { return int(user) % kCommunities; }
+int itemGroupOf(Index item) { return int(item) / (kItems / kCommunities); }
+
+/// Ground-truth affinity of a user for an item at a daypart.
+double trueRating(Index u, Index i, Index d) {
+  const int community = communityOf(u);
+  const int group = std::min(itemGroupOf(i), kCommunities - 1);
+  double base = (community == group) ? 4.5 : 1.2;
+  if (community == 2 && group == 2) {
+    // Community 2 watches its items in the evening, not the morning.
+    base *= (d == 2) ? 1.4 : (d == 0 ? 0.4 : 1.0);
+  }
+  return base;
+}
+
+tensor::CooTensor observedRatings(double density, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<tensor::Nonzero> obs;
+  for (Index u = 0; u < kUsers; ++u) {
+    for (Index i = 0; i < kItems; ++i) {
+      for (Index d = 0; d < kDayparts; ++d) {
+        if (rng.nextDouble() > density) continue;
+        const double noise = 0.3 * rng.nextGaussian();
+        obs.push_back(
+            tensor::makeNonzero3(u, i, d, trueRating(u, i, d) + noise));
+      }
+    }
+  }
+  return tensor::CooTensor({kUsers, kItems, kDayparts}, std::move(obs),
+                           "ratings");
+}
+
+/// Predicted score from the CP model.
+double predict(const cstf_core::CpAlsResult& model, Index u, Index i,
+               Index d) {
+  double s = 0.0;
+  for (std::size_t r = 0; r < model.lambda.size(); ++r) {
+    s += model.lambda[r] * model.factors[0](u, r) * model.factors[1](i, r) *
+         model.factors[2](d, r);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  sparkle::Context ctx(sparkle::ClusterConfig{.numNodes = 4});
+  tensor::CooTensor X = observedRatings(/*density=*/0.25, /*seed=*/17);
+  std::printf("observed ratings: %zu of %u cells (%.0f%%)\n", X.nnz(),
+              kUsers * kItems * kDayparts,
+              100.0 * X.density());
+
+  cstf_core::CpAlsOptions opts;
+  opts.rank = 6;
+  opts.maxIterations = 25;
+  opts.backend = cstf_core::Backend::kQcoo;
+  opts.tolerance = 1e-7;
+  auto model = cstf_core::cpAls(ctx, X, opts);
+  std::printf("model fit: %.4f (%zu iterations)\n\n", model.finalFit,
+              model.iterations.size());
+
+  // Rank all items for one user from each community, in the evening.
+  int inGroupTop = 0;
+  int total = 0;
+  for (Index u : {Index(0), Index(1), Index(2)}) {
+    std::vector<std::pair<double, Index>> scored;
+    for (Index i = 0; i < kItems; ++i) {
+      scored.push_back({predict(model, u, i, /*daypart=*/2), i});
+    }
+    std::sort(scored.rbegin(), scored.rend());
+    std::printf("user %u (community %d) — top 5 items in the evening:\n", u,
+                communityOf(u));
+    for (int k = 0; k < 5; ++k) {
+      const auto [score, item] = scored[k];
+      const bool match = itemGroupOf(item) == communityOf(u);
+      std::printf("  item %2u (group %d)%s  score %.2f\n", item,
+                  itemGroupOf(item), match ? " *" : "  ", score);
+      inGroupTop += match ? 1 : 0;
+      ++total;
+    }
+  }
+  std::printf("\n%d of %d top recommendations fall in the user's own "
+              "community (* = in-community)\n",
+              inGroupTop, total);
+
+  // Context-awareness check: community-2 users should score their items
+  // higher in the evening than in the morning.
+  double evening = 0;
+  double morning = 0;
+  int n = 0;
+  for (Index u = 2; u < kUsers; u += kCommunities) {
+    for (Index i = Index(2 * (kItems / 3)); i < kItems; ++i) {
+      evening += predict(model, u, i, 2);
+      morning += predict(model, u, i, 0);
+      ++n;
+    }
+  }
+  std::printf("community-2 mean predicted rating: evening %.2f vs morning "
+              "%.2f (ground truth plants an evening preference)\n",
+              evening / n, morning / n);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Work counters attached to every engine task.
+//
+// The cluster time model converts these deterministic counters — not noisy
+// wall-clock samples — into simulated node/compute/network times, which is
+// what makes the paper's 4..32-node sweeps reproducible on a 1-core host.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cstf {
+
+/// Accumulated by a single task while it pipelines a chain of narrow
+/// transformations over one partition.
+struct TaskCounters {
+  /// Records pulled from any upstream dataset (per transformation hop).
+  std::uint64_t recordsProcessed = 0;
+  /// Records emitted by the task's terminal dataset.
+  std::uint64_t recordsEmitted = 0;
+  /// Floating point operations attributed via per-record flop hints.
+  std::uint64_t flops = 0;
+  /// Bytes materialized from a source dataset ("HDFS read" in Hadoop mode).
+  std::uint64_t sourceBytesRead = 0;
+  /// Bytes decoded from a serialized-format cache (paper §4.1: serialized
+  /// caching saves memory but costs CPU on every access).
+  std::uint64_t cacheBytesDeserialized = 0;
+
+  TaskCounters& operator+=(const TaskCounters& o) {
+    recordsProcessed += o.recordsProcessed;
+    recordsEmitted += o.recordsEmitted;
+    flops += o.flops;
+    sourceBytesRead += o.sourceBytesRead;
+    cacheBytesDeserialized += o.cacheBytesDeserialized;
+    return *this;
+  }
+};
+
+}  // namespace cstf

@@ -1,0 +1,48 @@
+// Error handling: a single exception type plus always-on check macros.
+//
+// Per the C++ Core Guidelines (E.2/E.3) errors that the caller can do
+// something about throw; internal invariant violations abort via
+// CSTF_ASSERT so they are never silently swallowed in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace cstf {
+
+/// Exception thrown for recoverable errors (bad input files, invalid
+/// arguments, dimension mismatches requested by the user).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assertFail(const char* expr, const char* file,
+                                    int line, const char* msg) {
+  std::fprintf(stderr, "CSTF_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? ": " : "", msg);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace cstf
+
+/// Validate user-facing preconditions; throws cstf::Error.
+#define CSTF_CHECK(cond, msg)                                  \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      throw ::cstf::Error(std::string("CSTF_CHECK failed: ") + \
+                          #cond + " -- " + (msg));             \
+    }                                                          \
+  } while (0)
+
+/// Internal invariant; aborts on violation (enabled in all build types).
+#define CSTF_ASSERT(cond, msg)                                    \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::cstf::detail::assertFail(#cond, __FILE__, __LINE__, msg); \
+    }                                                             \
+  } while (0)

@@ -1,0 +1,31 @@
+// Minimal leveled logger. Benches and examples log at info; the engine logs
+// stage-level events at debug so unit tests stay quiet by default.
+#pragma once
+
+#include <string>
+
+namespace cstf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Thread-safe.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emit one line to stderr as "[LEVEL] msg". Thread-safe (single write call).
+void logMessage(LogLevel level, const std::string& msg);
+
+}  // namespace cstf
+
+#define CSTF_LOG(level, ...)                                      \
+  do {                                                            \
+    if (static_cast<int>(level) >=                                \
+        static_cast<int>(::cstf::logLevel())) {                   \
+      ::cstf::logMessage(level, ::cstf::strprintf(__VA_ARGS__));  \
+    }                                                             \
+  } while (0)
+
+#define CSTF_LOG_DEBUG(...) CSTF_LOG(::cstf::LogLevel::kDebug, __VA_ARGS__)
+#define CSTF_LOG_INFO(...) CSTF_LOG(::cstf::LogLevel::kInfo, __VA_ARGS__)
+#define CSTF_LOG_WARN(...) CSTF_LOG(::cstf::LogLevel::kWarn, __VA_ARGS__)
+#define CSTF_LOG_ERROR(...) CSTF_LOG(::cstf::LogLevel::kError, __VA_ARGS__)

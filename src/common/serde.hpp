@@ -1,0 +1,254 @@
+// Binary serialization with exact byte accounting.
+//
+// Everything that crosses a shuffle boundary in the dataflow engine is
+// encoded through this layer, so the engine's "remote bytes read" /
+// "local bytes read" metrics (the quantities Figure 4 of the CSTF paper
+// reports from Spark's metrics service) reflect real encoded record sizes
+// rather than estimates.
+//
+// The format is little-endian, fixed-width for arithmetic types, and
+// varint-free by design: simplicity and determinism matter more here than
+// squeezing bytes, and Spark's Java serialization the paper measured is
+// similarly fixed-width.
+//
+// Extend to a new type either by specializing cstf::Serde<T> or by giving
+// the type `serialize(Writer&) const` / `static T deserialize(Reader&)`
+// members (detected below).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/small_vector.hpp"
+
+namespace cstf {
+
+/// Append-only byte sink.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  void writeBytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  template <typename T>
+  void writeRaw(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    writeBytes(&v, sizeof(T));
+  }
+
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& buf_;
+};
+
+/// Sequential byte source.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  void readBytes(void* p, std::size_t n) {
+    CSTF_ASSERT(pos_ + n <= size_, "serde underflow");
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+  T readRaw() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    readBytes(&v, sizeof(T));
+    return v;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+template <typename T, typename = void>
+struct Serde;  // primary template: undefined; specialize or add members.
+
+namespace serde_detail {
+template <typename T, typename = void>
+struct HasMemberSerialize : std::false_type {};
+template <typename T>
+struct HasMemberSerialize<
+    T, std::void_t<decltype(std::declval<const T&>().serialize(
+           std::declval<Writer&>())),
+       decltype(T::deserialize(std::declval<Reader&>()))>> : std::true_type {};
+}  // namespace serde_detail
+
+/// Arithmetic types and enums: raw little-endian copy.
+template <typename T>
+struct Serde<T, std::enable_if_t<std::is_arithmetic_v<T> || std::is_enum_v<T>>> {
+  static void write(Writer& w, const T& v) { w.writeRaw(v); }
+  static T read(Reader& r) { return r.readRaw<T>(); }
+  static std::size_t byteSize(const T&) { return sizeof(T); }
+};
+
+/// Types providing member serialize/deserialize.
+template <typename T>
+struct Serde<T, std::enable_if_t<serde_detail::HasMemberSerialize<T>::value>> {
+  static void write(Writer& w, const T& v) { v.serialize(w); }
+  static T read(Reader& r) { return T::deserialize(r); }
+  static std::size_t byteSize(const T& v) { return v.serializedSize(); }
+};
+
+template <typename A, typename B>
+struct Serde<std::pair<A, B>> {
+  static void write(Writer& w, const std::pair<A, B>& v) {
+    Serde<A>::write(w, v.first);
+    Serde<B>::write(w, v.second);
+  }
+  static std::pair<A, B> read(Reader& r) {
+    A a = Serde<A>::read(r);
+    B b = Serde<B>::read(r);
+    return {std::move(a), std::move(b)};
+  }
+  static std::size_t byteSize(const std::pair<A, B>& v) {
+    return Serde<A>::byteSize(v.first) + Serde<B>::byteSize(v.second);
+  }
+};
+
+template <typename... Ts>
+struct Serde<std::tuple<Ts...>> {
+  static void write(Writer& w, const std::tuple<Ts...>& v) {
+    std::apply([&](const Ts&... xs) { (Serde<Ts>::write(w, xs), ...); }, v);
+  }
+  static std::tuple<Ts...> read(Reader& r) {
+    // Braced init guarantees left-to-right evaluation order.
+    return std::tuple<Ts...>{Serde<Ts>::read(r)...};
+  }
+  static std::size_t byteSize(const std::tuple<Ts...>& v) {
+    return std::apply(
+        [](const Ts&... xs) {
+          return (std::size_t{0} + ... + Serde<Ts>::byteSize(xs));
+        },
+        v);
+  }
+};
+
+template <typename T>
+struct Serde<std::vector<T>> {
+  static void write(Writer& w, const std::vector<T>& v) {
+    w.writeRaw(static_cast<std::uint32_t>(v.size()));
+    for (const T& x : v) Serde<T>::write(w, x);
+  }
+  static std::vector<T> read(Reader& r) {
+    const auto n = r.readRaw<std::uint32_t>();
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) v.push_back(Serde<T>::read(r));
+    return v;
+  }
+  static std::size_t byteSize(const std::vector<T>& v) {
+    std::size_t n = sizeof(std::uint32_t);
+    for (const T& x : v) n += Serde<T>::byteSize(x);
+    return n;
+  }
+};
+
+template <typename T, std::size_t N>
+struct Serde<SmallVec<T, N>> {
+  static void write(Writer& w, const SmallVec<T, N>& v) {
+    w.writeRaw(static_cast<std::uint32_t>(v.size()));
+    for (const T& x : v) Serde<T>::write(w, x);
+  }
+  static SmallVec<T, N> read(Reader& r) {
+    const auto n = r.readRaw<std::uint32_t>();
+    SmallVec<T, N> v;
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) v.push_back(Serde<T>::read(r));
+    return v;
+  }
+  static std::size_t byteSize(const SmallVec<T, N>& v) {
+    std::size_t n = sizeof(std::uint32_t);
+    for (const T& x : v) n += Serde<T>::byteSize(x);
+    return n;
+  }
+};
+
+template <typename T, std::size_t N>
+struct Serde<std::array<T, N>> {
+  static void write(Writer& w, const std::array<T, N>& v) {
+    for (const T& x : v) Serde<T>::write(w, x);
+  }
+  static std::array<T, N> read(Reader& r) {
+    std::array<T, N> v{};
+    for (std::size_t i = 0; i < N; ++i) v[i] = Serde<T>::read(r);
+    return v;
+  }
+  static std::size_t byteSize(const std::array<T, N>& v) {
+    std::size_t n = 0;
+    for (const T& x : v) n += Serde<T>::byteSize(x);
+    return n;
+  }
+};
+
+template <typename T>
+struct Serde<std::optional<T>> {
+  static void write(Writer& w, const std::optional<T>& v) {
+    w.writeRaw(static_cast<std::uint8_t>(v.has_value() ? 1 : 0));
+    if (v) Serde<T>::write(w, *v);
+  }
+  static std::optional<T> read(Reader& r) {
+    if (r.readRaw<std::uint8_t>() == 0) return std::nullopt;
+    return Serde<T>::read(r);
+  }
+  static std::size_t byteSize(const std::optional<T>& v) {
+    return 1 + (v ? Serde<T>::byteSize(*v) : 0);
+  }
+};
+
+template <>
+struct Serde<std::string> {
+  static void write(Writer& w, const std::string& v) {
+    w.writeRaw(static_cast<std::uint32_t>(v.size()));
+    w.writeBytes(v.data(), v.size());
+  }
+  static std::string read(Reader& r) {
+    const auto n = r.readRaw<std::uint32_t>();
+    std::string v(n, '\0');
+    r.readBytes(v.data(), n);
+    return v;
+  }
+  static std::size_t byteSize(const std::string& v) {
+    return sizeof(std::uint32_t) + v.size();
+  }
+};
+
+/// Convenience helpers.
+template <typename T>
+void serdeWrite(std::vector<std::uint8_t>& buf, const T& v) {
+  Writer w(buf);
+  Serde<T>::write(w, v);
+}
+
+template <typename T>
+T serdeRead(Reader& r) {
+  return Serde<T>::read(r);
+}
+
+template <typename T>
+std::size_t serdeSize(const T& v) {
+  return Serde<T>::byteSize(v);
+}
+
+}  // namespace cstf

@@ -1,0 +1,45 @@
+// Fixed-size work-stealing-free thread pool with a parallelFor helper.
+//
+// The dataflow engine executes one task per partition per stage; tasks are
+// independent, so a simple shared-queue pool is sufficient. Exceptions
+// thrown inside tasks are captured and rethrown on the submitting thread
+// (first one wins), so engine invariant failures surface in tests.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cstf {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, n) across the pool; blocks until all complete.
+  /// Rethrows the first captured exception, after all tasks finish.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace cstf

@@ -1,0 +1,26 @@
+// Fundamental width-pinned aliases shared by every CSTF module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cstf {
+
+/// Index into one tensor mode. 32 bits covers all FROSTT tensors the paper
+/// evaluates (max mode size 28M) with headroom to 4.2B.
+using Index = std::uint32_t;
+
+/// Linearized position (e.g. a column of a matricized tensor, which can be
+/// J*K and overflow 32 bits).
+using LongIndex = std::uint64_t;
+
+/// Nonzero value type. All paper experiments run in double precision.
+using Value = double;
+
+/// Mode count / mode id. Tensors of order up to 8 are supported; the paper
+/// evaluates orders 3 and 4 and analyzes order 5.
+using ModeId = std::uint8_t;
+
+inline constexpr ModeId kMaxOrder = 8;
+
+}  // namespace cstf

@@ -1,0 +1,50 @@
+// Analytic cost model — Table 4 of the paper and its order-N
+// generalization from §5. Benches compare these predictions against the
+// engine's measured counters; tests pin the agreement.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "cstf/options.hpp"
+
+namespace cstf::cstf_core {
+
+/// Costs of ONE mode-n MTTKRP, in the paper's units.
+struct MttkrpCost {
+  /// Floating point operations (Table 4 "Flops").
+  double flops = 0.0;
+  /// Bytes-equivalent intermediate data, in units of (nnz * R) vector
+  /// elements unless noted (Table 4 "Intermediate Data").
+  double intermediateData = 0.0;
+  /// Shuffle operations (Table 4 "Shuffles").
+  int shuffles = 0;
+};
+
+/// Table 4 rows (3rd-order) generalized to order N per §5:
+///   BIGtensor:  5*nnz*R flops, max(J+nnz, K+nnz) intermediate, 4 shuffles
+///               (3rd-order only).
+///   CSTF-COO:   N*nnz*R flops, nnz*R intermediate, N shuffles.
+///   CSTF-QCOO:  N*nnz*R flops, (N-1)*nnz*R intermediate, 2 shuffles.
+/// `dim2`/`dim3` are the two fixed-mode sizes (J, K) used by the
+/// BIGtensor intermediate-data bound; ignored for the CSTF rows.
+MttkrpCost analyticMttkrpCost(Backend backend, ModeId order,
+                              std::uint64_t nnz, std::size_t rank,
+                              Index dim2 = 0, Index dim3 = 0);
+
+/// Costs of one full CP-ALS iteration (N MTTKRPs).
+struct CpIterationCost {
+  int shuffles = 0;
+  /// Join-shuffle communication volume in units of nnz*R (§5: N^2 for COO,
+  /// N*(N-1) for QCOO).
+  double joinCommUnits = 0.0;
+};
+
+CpIterationCost analyticCpIterationCost(Backend backend, ModeId order);
+
+/// §5's headline: QCOO's predicted communication saving over COO per
+/// CP iteration, from the join-volume analysis — 1/N (33% for order 3,
+/// 25% for order 4, 20% for order 5).
+double predictedQcooSavings(ModeId order);
+
+}  // namespace cstf::cstf_core

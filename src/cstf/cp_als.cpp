@@ -1,0 +1,174 @@
+#include "cstf/cp_als.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <optional>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "cstf/dim_tree.hpp"
+#include "cstf/factors.hpp"
+#include "cstf/mttkrp_bigtensor.hpp"
+#include "cstf/mttkrp_coo.hpp"
+#include "cstf/mttkrp_qcoo.hpp"
+#include "la/normalize.hpp"
+#include "la/solve.hpp"
+#include "tensor/reference_ops.hpp"
+
+namespace cstf::cstf_core {
+
+namespace {
+
+/// <X, model> via the SPLATT trick: with M the MTTKRP result for the last
+/// updated mode and A that mode's (normalized) factor,
+/// <X, model> = sum_r lambda_r <A(:,r), M(:,r)>.
+double innerProductFromMttkrp(const la::Matrix& m, const la::Matrix& a,
+                              const std::vector<double>& lambda) {
+  double acc = 0.0;
+  for (std::size_t r = 0; r < lambda.size(); ++r) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < m.rows(); ++i) dot += m(i, r) * a(i, r);
+    acc += lambda[r] * dot;
+  }
+  return acc;
+}
+
+}  // namespace
+
+CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
+                  const CpAlsOptions& opts) {
+  const ModeId order = X.order();
+  CSTF_CHECK(order >= 2, "CP-ALS needs order >= 2");
+  CSTF_CHECK(opts.rank >= 1, "rank must be >= 1");
+  CSTF_CHECK(opts.maxIterations >= 1, "need at least one iteration");
+  if (opts.backend == Backend::kBigtensor) {
+    CSTF_CHECK(order == 3, "BIGtensor CP supports 3rd-order tensors only");
+  }
+
+  const std::vector<Index>& dims = X.dims();
+  CpAlsResult result;
+  result.factors = randomFactors(dims, opts.rank, opts.seed);
+  result.lambda.assign(opts.rank, 1.0);
+
+  // Gram cache: recomputed per factor only when that factor updates.
+  std::vector<la::Matrix> grams;
+  grams.reserve(order);
+  for (const la::Matrix& f : result.factors) grams.push_back(la::gram(f));
+
+  // Distribute and cache the tensor (cache() is a no-op in Hadoop mode, so
+  // the BIGtensor baseline honestly re-reads its input per job).
+  auto Xrdd = tensorToRdd(ctx, X, opts.mttkrp.numPartitions);
+  if (opts.tensorStorage != sparkle::StorageLevel::kNone) {
+    Xrdd.cache(opts.tensorStorage);
+  }
+
+  std::optional<QcooEngine> qcoo;
+  if (opts.backend == Backend::kQcoo) {
+    qcoo.emplace(ctx, Xrdd, dims, result.factors, opts.mttkrp);
+  }
+
+  const double xNormSq = X.norm() * X.norm();
+  double prevFit = 0.0;
+
+  for (int iter = 1; iter <= opts.maxIterations; ++iter) {
+    const double simBefore = ctx.metrics().simTimeSec();
+    const auto wallBefore = std::chrono::steady_clock::now();
+    la::Matrix lastMttkrp;
+
+    // ALS step for one mode: solve the normal equations against the
+    // Hadamard product of the other modes' gram matrices, normalize, and
+    // refresh this mode's gram.
+    auto applyUpdate = [&](ModeId n, la::Matrix m) {
+      sparkle::ScopedStage scope(ctx.metrics(), "Other");
+      la::Matrix v(opts.rank, opts.rank, 1.0);
+      for (ModeId d = 0; d < order; ++d) {
+        if (d != n) v = la::hadamard(v, grams[d]);
+      }
+      la::Matrix updated = la::matmul(m, la::pinvSym(v));
+      result.lambda = la::normalizeColumns(updated);
+      result.factors[n] = std::move(updated);
+      if (opts.distributedGrams) {
+        grams[n] = distributedGram(
+            factorToRdd(ctx, result.factors[n], opts.mttkrp.numPartitions),
+            opts.rank);
+      } else {
+        grams[n] = la::gram(result.factors[n]);
+      }
+      if (n + 1 == order) lastMttkrp = std::move(m);
+    };
+
+    if (opts.backend == Backend::kDimTree) {
+      // One tree sweep produces all N MTTKRPs with shared partials.
+      dimTreeSweep(X, result.factors,
+                   [&](ModeId n, la::Matrix m) {
+                     applyUpdate(n, std::move(m));
+                   });
+    } else {
+      for (ModeId n = 0; n < order; ++n) {
+        la::Matrix m;
+        {
+          sparkle::ScopedStage scope(ctx.metrics(),
+                                     strprintf("MTTKRP-%d", int(n) + 1));
+          switch (opts.backend) {
+            case Backend::kCoo:
+              m = mttkrpCoo(ctx, Xrdd, dims, result.factors, n, opts.mttkrp);
+              break;
+            case Backend::kQcoo:
+              CSTF_ASSERT(qcoo->nextMode() == n, "QCOO mode schedule broken");
+              m = qcoo->mttkrpNext(result.factors);
+              break;
+            case Backend::kBigtensor:
+              m = mttkrpBigtensor(ctx, Xrdd, dims, result.factors, n,
+                                  opts.mttkrp);
+              break;
+            case Backend::kReference:
+              m = tensor::referenceMttkrp(X, result.factors, n);
+              break;
+            case Backend::kDimTree:
+              CSTF_ASSERT(false, "handled above");
+              break;
+          }
+        }
+        applyUpdate(n, std::move(m));
+      }
+    }
+
+    CpAlsIterationStats stats;
+    stats.iteration = iter;
+    stats.simTimeSec = ctx.metrics().simTimeSec() - simBefore;
+    stats.wallTimeSec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallBefore)
+            .count();
+
+    if (opts.computeFit) {
+      const double inner =
+          innerProductFromMttkrp(lastMttkrp, result.factors[order - 1],
+                                 result.lambda);
+      const double modelSq =
+          tensor::modelNormSq(result.factors, result.lambda);
+      const double residSq = std::max(0.0, xNormSq - 2.0 * inner + modelSq);
+      stats.fit =
+          xNormSq > 0.0 ? 1.0 - std::sqrt(residSq) / std::sqrt(xNormSq) : 0.0;
+      stats.fitDelta = stats.fit - prevFit;
+      CSTF_LOG_DEBUG("cp-als[%s] iter %d fit=%.6f (delta %.2e) sim=%.3fs",
+                     backendName(opts.backend), iter, stats.fit,
+                     stats.fitDelta, stats.simTimeSec);
+    }
+    result.iterations.push_back(stats);
+    if (opts.onIteration) opts.onIteration(stats);
+
+    if (opts.computeFit && iter > 1 &&
+        std::abs(stats.fit - prevFit) < opts.tolerance) {
+      result.converged = true;
+      prevFit = stats.fit;
+      break;
+    }
+    prevFit = stats.fit;
+  }
+
+  result.finalFit = prevFit;
+  return result;
+}
+
+}  // namespace cstf::cstf_core

@@ -1,0 +1,123 @@
+#include "cstf/dim_tree.hpp"
+
+#include "common/error.hpp"
+
+namespace cstf::cstf_core {
+
+namespace {
+
+/// Flat per-nonzero buffer of R-vectors.
+using Partials = std::vector<double>;
+
+class SweepState {
+ public:
+  SweepState(const tensor::CooTensor& x,
+             const std::vector<la::Matrix>& factors,
+             const std::function<void(ModeId, la::Matrix)>& onResult,
+             std::size_t rank)
+      : x_(x), factors_(factors), onResult_(onResult), rank_(rank) {}
+
+  void recurse(ModeId lo, ModeId hi, const Partials& outer) {
+    const auto& nzs = x_.nonzeros();
+    if (hi - lo == 1) {
+      la::Matrix m(x_.dim(lo), rank_);
+      for (std::size_t t = 0; t < nzs.size(); ++t) {
+        double* dst = m.row(nzs[t].idx[lo]);
+        const double* src = outer.data() + t * rank_;
+        for (std::size_t r = 0; r < rank_; ++r) dst[r] += src[r];
+      }
+      flops_ += nzs.size() * rank_;
+      // The callback updates factors_[lo] (ALS step) before we continue.
+      onResult_(lo, std::move(m));
+      return;
+    }
+
+    const ModeId mid = static_cast<ModeId>(lo + (hi - lo) / 2);
+
+    // Partial for the left subtree: outer times the CURRENT right-half
+    // factors (they stay fixed while [lo, mid) updates).
+    recurse(lo, mid, buildPartial(outer, mid, hi));
+    // Partial for the right subtree: left-half factors are now updated.
+    recurse(mid, hi, buildPartial(outer, lo, mid));
+  }
+
+  /// outer .* prod_{m in [from, to)} A_m(idx_m), per nonzero. The first
+  /// factor multiply is fused with the copy out of `outer` — one memory
+  /// pass instead of two.
+  Partials buildPartial(const Partials& outer, ModeId from, ModeId to) {
+    const auto& nzs = x_.nonzeros();
+    Partials out(outer.size());
+    for (std::size_t t = 0; t < nzs.size(); ++t) {
+      double* dst = out.data() + t * rank_;
+      const double* src = outer.data() + t * rank_;
+      const double* first = factors_[from].row(nzs[t].idx[from]);
+      for (std::size_t r = 0; r < rank_; ++r) dst[r] = src[r] * first[r];
+      for (ModeId m = static_cast<ModeId>(from + 1); m < to; ++m) {
+        const double* row = factors_[m].row(nzs[t].idx[m]);
+        for (std::size_t r = 0; r < rank_; ++r) dst[r] *= row[r];
+      }
+    }
+    flops_ += nzs.size() * rank_ * (to - from);
+    return out;
+  }
+
+  std::uint64_t flops() const { return flops_; }
+
+ private:
+  const tensor::CooTensor& x_;
+  const std::vector<la::Matrix>& factors_;
+  const std::function<void(ModeId, la::Matrix)>& onResult_;
+  std::size_t rank_;
+  std::uint64_t flops_ = 0;
+};
+
+}  // namespace
+
+void dimTreeSweep(const tensor::CooTensor& X,
+                  const std::vector<la::Matrix>& factors,
+                  const std::function<void(ModeId, la::Matrix)>& onResult,
+                  std::uint64_t* flops) {
+  const ModeId order = X.order();
+  CSTF_CHECK(order >= 1, "dimTreeSweep: empty tensor order");
+  CSTF_CHECK(factors.size() == order, "dimTreeSweep: factor count mismatch");
+  std::size_t rank = 0;
+  for (const la::Matrix& f : factors) {
+    CSTF_CHECK(!f.empty(), "dimTreeSweep: empty factor");
+    if (rank == 0) {
+      rank = f.cols();
+    } else {
+      CSTF_CHECK(f.cols() == rank, "dimTreeSweep: rank mismatch");
+    }
+  }
+  for (ModeId m = 0; m < order; ++m) {
+    CSTF_CHECK(factors[m].rows() == X.dim(m),
+               "dimTreeSweep: factor row count mismatch");
+  }
+
+  // Root partial: the tensor value broadcast across R lanes.
+  Partials root(X.nnz() * rank);
+  const auto& nzs = X.nonzeros();
+  for (std::size_t t = 0; t < nzs.size(); ++t) {
+    for (std::size_t r = 0; r < rank; ++r) root[t * rank + r] = nzs[t].val;
+  }
+
+  SweepState state(X, factors, onResult, rank);
+  state.recurse(0, order, root);
+  if (flops != nullptr) *flops += state.flops();
+}
+
+DimTreeCost analyticDimTreeCost(ModeId order) {
+  CSTF_CHECK(order >= 1, "order must be >= 1");
+  DimTreeCost c;
+  c.naiveUnits = static_cast<double>(order) * order;
+  // T(1) = 1 (accumulate); T(n) = n + T(floor(n/2)) + T(ceil(n/2)).
+  std::function<double(int)> t = [&](int n) -> double {
+    if (n == 1) return 1.0;
+    const int nl = n / 2;
+    return n + t(nl) + t(n - nl);
+  };
+  c.treeUnits = t(order);
+  return c;
+}
+
+}  // namespace cstf::cstf_core

@@ -1,0 +1,58 @@
+// Dimension-tree MTTKRP sweep — the optimization the paper's related work
+// highlights (Kaya & Uçar, SIAM J. Sci. Comput. 2018 [14]) as the
+// state-of-the-art way to share work *between* the MTTKRPs of one CP-ALS
+// iteration, complementing CSTF-QCOO's sharing of *communication*.
+//
+// Idea: an ALS iteration computes N MTTKRPs; naively each one forms, per
+// nonzero, the Hadamard product of N-1 factor rows (N*(N-1)*R flops per
+// nonzero per iteration, plus scaling). A binary tree over the modes
+// memoizes partial products per nonzero:
+//
+//   sweep([lo, hi), outer):                    # outer: per-nonzero R-vector
+//     if hi - lo == 1: emit MTTKRP_lo = accumulate(outer); factor updates
+//     else:
+//       right = outer .* prod of CURRENT factors in [mid, hi)
+//       sweep([lo, mid), right)                # updates modes in [lo, mid)
+//       left  = outer .* prod of UPDATED factors in [lo, mid)
+//       sweep([mid, hi), left)
+//
+// Each recursion level touches every nonzero O(1) times, so a full sweep
+// costs O(N log N * R) flops per nonzero instead of O(N^2 * R) — identical
+// results to the mode-by-mode sequence (the partial for a subtree is built
+// strictly from factors that do not change while the subtree executes).
+//
+// This implementation is the sequential (single-node) form, used as a
+// CP-ALS backend (Backend semantics equal to kReference) and quantified by
+// bench_ablation_dimtree. Memory: one R-vector per nonzero per tree level,
+// O(nnz * R * ceil(log2 N)).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace cstf::cstf_core {
+
+/// Runs the MTTKRPs of one full ALS sweep in mode order 0..N-1.
+/// `onResult(mode, M)` receives each mode's MTTKRP result and MUST update
+/// `factors[mode]` before returning (ALS semantics — later modes read it).
+/// `factors` entries must stay shape-stable. Adds the flop count of the
+/// sweep to *flops when provided.
+void dimTreeSweep(
+    const tensor::CooTensor& X, const std::vector<la::Matrix>& factors,
+    const std::function<void(ModeId, la::Matrix)>& onResult,
+    std::uint64_t* flops = nullptr);
+
+/// Analytic per-iteration MTTKRP flop counts (in units of nnz * R):
+/// naive mode-by-mode vs dimension tree, for an order-N tensor. The tree
+/// pays (#levels touched) vector ops per nonzero; naive pays N per MTTKRP.
+struct DimTreeCost {
+  double naiveUnits = 0.0;  // N * N (N MTTKRPs x N vector ops each)
+  double treeUnits = 0.0;
+};
+DimTreeCost analyticDimTreeCost(ModeId order);
+
+}  // namespace cstf::cstf_core

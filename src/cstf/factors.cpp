@@ -1,0 +1,75 @@
+#include "cstf/factors.hpp"
+
+namespace cstf::cstf_core {
+
+FactorRdd factorToRdd(sparkle::Context& ctx, const la::Matrix& m,
+                      std::size_t numPartitions) {
+  std::vector<std::pair<Index, la::Row>> rows;
+  rows.reserve(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    rows.emplace_back(static_cast<Index>(i), la::rowOf(m, i));
+  }
+  return sparkle::parallelize(ctx, std::move(rows), numPartitions);
+}
+
+la::Matrix rowsToMatrix(const std::vector<std::pair<Index, la::Row>>& rows,
+                        std::size_t numRows, std::size_t rank) {
+  la::Matrix m(numRows, rank);
+  for (const auto& [idx, row] : rows) {
+    CSTF_CHECK(idx < numRows, "row index out of range in MTTKRP output");
+    CSTF_CHECK(row.size() == rank, "row rank mismatch in MTTKRP output");
+    double* dst = m.row(idx);
+    for (std::size_t r = 0; r < rank; ++r) dst[r] = row[r];
+  }
+  return m;
+}
+
+std::vector<la::Matrix> randomFactors(const std::vector<Index>& dims,
+                                      std::size_t rank, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<la::Matrix> factors;
+  factors.reserve(dims.size());
+  for (Index d : dims) factors.push_back(la::Matrix::random(d, rank, rng));
+  return factors;
+}
+
+sparkle::Rdd<tensor::Nonzero> tensorToRdd(sparkle::Context& ctx,
+                                          const tensor::CooTensor& t,
+                                          std::size_t numPartitions) {
+  return sparkle::parallelize(ctx, t.nonzeros(), numPartitions);
+}
+
+la::Matrix distributedGram(const FactorRdd& factor, std::size_t rank) {
+  // Per-partition partial grams, flattened row-major for the reduce.
+  auto partials = factor.mapPartitions(
+      [rank](const std::vector<std::pair<Index, la::Row>>& part) {
+        std::vector<double> g(rank * rank, 0.0);
+        for (const auto& [idx, row] : part) {
+          CSTF_CHECK(row.size() == rank, "factor row rank mismatch");
+          for (std::size_t p = 0; p < rank; ++p) {
+            for (std::size_t q = p; q < rank; ++q) {
+              g[p * rank + q] += row[p] * row[q];
+            }
+          }
+        }
+        return std::vector<std::vector<double>>{std::move(g)};
+      });
+  const std::vector<double> summed = partials.reduce(
+      [](const std::vector<double>& a, const std::vector<double>& b) {
+        std::vector<double> c(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+        return c;
+      },
+      "distributedGram");
+
+  la::Matrix g(rank, rank);
+  for (std::size_t p = 0; p < rank; ++p) {
+    for (std::size_t q = p; q < rank; ++q) {
+      g(p, q) = summed[p * rank + q];
+      g(q, p) = g(p, q);
+    }
+  }
+  return g;
+}
+
+}  // namespace cstf::cstf_core

@@ -1,0 +1,46 @@
+// Factor-matrix plumbing between the driver and the engine.
+//
+// The paper stores factors as Spark IndexedRowMatrix RDDs of
+// (index, row) pairs (Table 3); here factors live on the driver as
+// la::Matrix and are turned into (index, row) RDDs whenever a backend needs
+// to join against them, so each join honestly meters the factor-side
+// shuffle the real system pays.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/row.hpp"
+#include "sparkle/rdd.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace cstf::cstf_core {
+
+using FactorRdd = sparkle::Rdd<std::pair<Index, la::Row>>;
+
+/// Distribute a factor matrix as an (index, row) pair RDD.
+FactorRdd factorToRdd(sparkle::Context& ctx, const la::Matrix& m,
+                      std::size_t numPartitions = 0);
+
+/// Assemble MTTKRP output rows into a dense (rows x rank) matrix; indices
+/// absent from `rows` stay zero (empty tensor slices).
+la::Matrix rowsToMatrix(const std::vector<std::pair<Index, la::Row>>& rows,
+                        std::size_t numRows, std::size_t rank);
+
+/// Random CP-ALS initialization: one (dim_m x rank) matrix per mode.
+std::vector<la::Matrix> randomFactors(const std::vector<Index>& dims,
+                                      std::size_t rank, std::uint64_t seed);
+
+/// Distribute a tensor's nonzeros as an RDD (typically followed by
+/// .cache(), the paper's iteration-reuse strategy in §4.1).
+sparkle::Rdd<tensor::Nonzero> tensorToRdd(sparkle::Context& ctx,
+                                          const tensor::CooTensor& t,
+                                          std::size_t numPartitions = 0);
+
+/// Distributed gram matrix A^T A of an (index, row) factor RDD: each
+/// partition accumulates its local R x R contribution, the driver sums
+/// them (Spark's computeGramianMatrix). The paper computes each factor's
+/// gram exactly once per CP-ALS iteration this way (§4.2).
+la::Matrix distributedGram(const FactorRdd& factor, std::size_t rank);
+
+}  // namespace cstf::cstf_core

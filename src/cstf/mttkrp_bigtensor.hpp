@@ -1,0 +1,30 @@
+// BIGtensor/GigaTensor-style baseline MTTKRP (paper §4.3, Table 2 left
+// column). 3rd-order tensors only, matching BIGtensor's limitation.
+//
+// The tensor is explicitly matricized along the target mode; two map-join
+// passes pair each matricized entry ((i, j0) keys) with the two fixed
+// factors' rows — the second pass over bin(X), the sparsity-pattern copy of
+// the unfolded tensor — and a third stage joins the two nnz-sized
+// intermediates, Hadamard-combines them, and row-sums. Four shuffles and
+// 5*nnz*R flops per MTTKRP (Table 4), plus the full extra pass that bin()
+// costs. Run it under ExecutionMode::kHadoop to reproduce BIGtensor's
+// per-job disk materialization.
+#pragma once
+
+#include <vector>
+
+#include "cstf/factors.hpp"
+#include "cstf/options.hpp"
+#include "la/matrix.hpp"
+#include "sparkle/rdd.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace cstf::cstf_core {
+
+la::Matrix mttkrpBigtensor(sparkle::Context& ctx,
+                           const sparkle::Rdd<tensor::Nonzero>& X,
+                           const std::vector<Index>& dims,
+                           const std::vector<la::Matrix>& factors,
+                           ModeId mode, const MttkrpOptions& opts = {});
+
+}  // namespace cstf::cstf_core

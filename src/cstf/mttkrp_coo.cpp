@@ -1,0 +1,87 @@
+#include "cstf/mttkrp_coo.hpp"
+
+#include "cstf/records.hpp"
+
+namespace cstf::cstf_core {
+
+std::vector<ModeId> cooJoinOrder(ModeId order, ModeId mode) {
+  std::vector<ModeId> fixed;
+  for (ModeId m = order; m-- > 0;) {
+    if (m != mode) fixed.push_back(m);
+  }
+  return fixed;
+}
+
+la::Matrix mttkrpCoo(sparkle::Context& ctx,
+                     const sparkle::Rdd<tensor::Nonzero>& X,
+                     const std::vector<Index>& dims,
+                     const std::vector<la::Matrix>& factors, ModeId mode,
+                     const MttkrpOptions& opts) {
+  const ModeId order = static_cast<ModeId>(dims.size());
+  CSTF_CHECK(order >= 2, "MTTKRP needs order >= 2");
+  CSTF_CHECK(mode < order, "mode out of range");
+  CSTF_CHECK(factors.size() == order, "need one factor per mode");
+
+  std::size_t rank = 0;
+  for (ModeId m = 0; m < order; ++m) {
+    if (m != mode) {
+      rank = factors[m].cols();
+      break;
+    }
+  }
+  CSTF_CHECK(rank > 0, "rank must be positive");
+
+  const std::vector<ModeId> fixed = cooJoinOrder(order, mode);
+  const double r = static_cast<double>(rank);
+
+  // STAGE 0: key nonzeros by the first join mode.
+  auto keyed = X.map([d0 = fixed[0]](const tensor::Nonzero& nz) {
+    return std::pair<Index, Carry>(nz.idx[d0], Carry{nz, {}});
+  });
+
+  // Joins for every fixed mode but the last: fold the joined factor row
+  // into the carried partial product and re-key by the next join mode.
+  for (std::size_t s = 0; s + 1 < fixed.size(); ++s) {
+    auto factorRdd = factorToRdd(ctx, factors[fixed[s]], opts.numPartitions);
+    auto joined = keyed.join(factorRdd, nullptr, "coo-join");
+    const ModeId nextKey = fixed[s + 1];
+    keyed = joined.mapWithFlops(
+        [nextKey](const std::pair<Index, std::pair<Carry, la::Row>>& kv) {
+          Carry c = kv.second.first;
+          const la::Row& row = kv.second.second;
+          if (c.partial.empty()) {
+            // First join: scale by the tensor value (paper: X(i,j,k)C(k,:)).
+            c.partial = la::rowScale(row, c.nz.val);
+          } else {
+            la::rowHadamardInPlace(c.partial, row);
+          }
+          return std::pair<Index, Carry>(c.nz.idx[nextKey], std::move(c));
+        },
+        r);
+  }
+
+  // Last join: finish the Hadamard product and emit (mode index, row).
+  auto lastFactor =
+      factorToRdd(ctx, factors[fixed.back()], opts.numPartitions);
+  auto lastJoined = keyed.join(lastFactor, nullptr, "coo-join");
+  auto rows = lastJoined.mapWithFlops(
+      [mode](const std::pair<Index, std::pair<Carry, la::Row>>& kv) {
+        const Carry& c = kv.second.first;
+        const la::Row& row = kv.second.second;
+        la::Row out = c.partial.empty() ? la::rowScale(row, c.nz.val)
+                                        : la::rowHadamard(c.partial, row);
+        return std::pair<Index, la::Row>(c.nz.idx[mode], std::move(out));
+      },
+      r);
+
+  // STAGE 3: sum rows with equal output index.
+  auto reduced = rows.reduceByKey(
+      [](const la::Row& a, const la::Row& b) { return la::rowAdd(a, b); },
+      ctx.hashPartitioner(opts.numPartitions), opts.mapSideCombine, r,
+      "coo-reduceByKey");
+
+  return rowsToMatrix(reduced.collect("coo-mttkrp-result"), dims[mode],
+                      rank);
+}
+
+}  // namespace cstf::cstf_core

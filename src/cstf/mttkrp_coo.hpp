@@ -1,0 +1,33 @@
+// CSTF-COO distributed MTTKRP (paper §4.1, Table 2 middle column).
+//
+// For mode n of an N-order tensor: key the nonzeros by the highest fixed
+// mode, join its factor, fold the joined row into the running Hadamard
+// product, re-key by the next fixed mode, and repeat; after the last join,
+// records are keyed by mode n and reduceByKey sums the scaled rows into
+// M(n). N-1 joins plus one reduceByKey = N shuffle operations, nnz-sized
+// intermediate records of one R-row each — the costs of Table 4.
+#pragma once
+
+#include <vector>
+
+#include "cstf/factors.hpp"
+#include "cstf/options.hpp"
+#include "la/matrix.hpp"
+#include "sparkle/rdd.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace cstf::cstf_core {
+
+/// One distributed MTTKRP along `mode`. `factors` holds one matrix per
+/// tensor mode (entry `mode` is ignored). `X` is typically cached.
+la::Matrix mttkrpCoo(sparkle::Context& ctx,
+                     const sparkle::Rdd<tensor::Nonzero>& X,
+                     const std::vector<Index>& dims,
+                     const std::vector<la::Matrix>& factors, ModeId mode,
+                     const MttkrpOptions& opts = {});
+
+/// The join order CSTF-COO uses for `mode`: all fixed modes, highest
+/// first (mode-1 of a 3-order tensor joins C then B, as in Table 2).
+std::vector<ModeId> cooJoinOrder(ModeId order, ModeId mode);
+
+}  // namespace cstf::cstf_core

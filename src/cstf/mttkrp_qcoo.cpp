@@ -1,0 +1,100 @@
+#include "cstf/mttkrp_qcoo.hpp"
+
+namespace cstf::cstf_core {
+
+QcooEngine::QcooEngine(sparkle::Context& ctx,
+                       const sparkle::Rdd<tensor::Nonzero>& X,
+                       const std::vector<Index>& dims,
+                       const std::vector<la::Matrix>& initialFactors,
+                       const MttkrpOptions& opts)
+    : ctx_(ctx),
+      dims_(dims),
+      order_(static_cast<ModeId>(dims.size())),
+      opts_(opts) {
+  CSTF_CHECK(order_ >= 2, "QCOO needs order >= 2");
+  CSTF_CHECK(initialFactors.size() == order_, "need one factor per mode");
+  rank_ = initialFactors[0].cols();
+  for (const la::Matrix& f : initialFactors) {
+    CSTF_CHECK(f.cols() == rank_, "factors must share rank");
+  }
+
+  sparkle::ScopedStage scope(ctx_.metrics(), "QCOO-init");
+
+  // Key every nonzero by mode 0, then join modes 0..N-2 in turn, each join
+  // enqueueing its row and re-keying to the next mode to join. The final
+  // key is mode N-1 — the join mode of the first MTTKRP.
+  auto q = X.map([](const tensor::Nonzero& nz) {
+    return std::pair<Index, QRecord>(nz.idx[0], QRecord{nz, {}});
+  });
+  for (ModeId m = 0; m + 1 < order_; ++m) {
+    auto factorRdd =
+        factorToRdd(ctx_, initialFactors[m], opts_.numPartitions);
+    auto joined = q.join(factorRdd, nullptr, "qcoo-init-join");
+    const ModeId nextKey = static_cast<ModeId>(
+        m + 2 < order_ ? m + 1 : order_ - 1);
+    q = joined.map(
+        [nextKey](const std::pair<Index, std::pair<QRecord, la::Row>>& kv) {
+          QRecord rec = kv.second.first;
+          rec.queue.push_back(kv.second.second);
+          return std::pair<Index, QRecord>(rec.nz.idx[nextKey],
+                                           std::move(rec));
+        });
+  }
+  q.cache();
+  q_ = std::move(q);
+}
+
+la::Matrix QcooEngine::mttkrpNext(const std::vector<la::Matrix>& factors) {
+  const ModeId n = nextMode_;
+  const ModeId jm = joinMode();
+  CSTF_CHECK(factors.size() == order_, "need one factor per mode");
+  CSTF_CHECK(factors[jm].cols() == rank_, "rank changed mid-run");
+
+  // STAGE 1: single join with the freshest factor (mode n-1, updated by
+  // the previous MTTKRP — or mode N-1's initial value on the first call).
+  auto factorRdd = factorToRdd(ctx_, factors[jm], opts_.numPartitions);
+  auto joined = q_->join(factorRdd, nullptr, "qcoo-join");
+
+  // STAGE 2: enqueue the joined row, dequeue the stalest (the row of the
+  // mode being updated now), and re-key to mode n — which is both this
+  // MTTKRP's reduce key and the next MTTKRP's join key.
+  auto advanced = joined.map(
+      [n](const std::pair<Index, std::pair<QRecord, la::Row>>& kv) {
+        QRecord rec = kv.second.first;
+        rec.queue.push_back(kv.second.second);
+        rec.queue.pop_front();
+        return std::pair<Index, QRecord>(rec.nz.idx[n], std::move(rec));
+      });
+  advanced.cache();  // feeds both the reduce below and the next join
+
+  // STAGE 3: collapse each queue to the Hadamard product scaled by the
+  // tensor value, then sum per output row.
+  const double r = static_cast<double>(rank_);
+  auto contrib = advanced.mapValues(
+      [](const QRecord& rec) {
+        CSTF_ASSERT(!rec.queue.empty(), "QCOO queue must not be empty");
+        la::Row out = la::rowScale(rec.queue[0], rec.nz.val);
+        for (std::size_t i = 1; i < rec.queue.size(); ++i) {
+          la::rowHadamardInPlace(out, rec.queue[i]);
+        }
+        return out;
+      },
+      r * static_cast<double>(order_ - 1));
+  auto reduced = contrib.reduceByKey(
+      [](const la::Row& a, const la::Row& b) { return la::rowAdd(a, b); },
+      ctx_.hashPartitioner(opts_.numPartitions), opts_.mapSideCombine, r,
+      "qcoo-reduceByKey");
+
+  la::Matrix result =
+      rowsToMatrix(reduced.collect("qcoo-mttkrp-result"), dims_[n], rank_);
+
+  // Retire the previous queue RDD (paper: unpersist the old RDD) and
+  // detach the new one from its lineage so past iterations' shuffle blocks
+  // can be reclaimed (Spark's ContextCleaner equivalent).
+  q_->unpersist();
+  q_ = advanced.snapshot();
+  nextMode_ = static_cast<ModeId>((n + 1) % order_);
+  return result;
+}
+
+}  // namespace cstf::cstf_core

@@ -1,0 +1,63 @@
+// Record types shipped through the engine by the CSTF backends, matching
+// the RDD element shapes of Table 3 in the paper.
+#pragma once
+
+#include "common/serde.hpp"
+#include "common/small_vector.hpp"
+#include "la/row.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace cstf::cstf_core {
+
+/// CSTF-COO in-flight record: a nonzero plus the running Hadamard product
+/// of the factor rows joined so far (empty before the first join).
+struct Carry {
+  tensor::Nonzero nz;
+  la::Row partial;
+
+  void serialize(Writer& w) const {
+    nz.serialize(w);
+    Serde<la::Row>::write(w, partial);
+  }
+  static Carry deserialize(Reader& r) {
+    Carry c;
+    c.nz = tensor::Nonzero::deserialize(r);
+    c.partial = Serde<la::Row>::read(r);
+    return c;
+  }
+  std::size_t serializedSize() const {
+    return nz.serializedSize() + Serde<la::Row>::byteSize(partial);
+  }
+
+  friend bool operator==(const Carry& a, const Carry& b) {
+    return a.nz == b.nz && a.partial == b.partial;
+  }
+};
+
+/// CSTF-QCOO record ("Xq" of Table 3): a nonzero plus the queue of the
+/// N-1 factor rows needed by the *next* MTTKRP. Front of the queue is the
+/// stalest row (the next to be dequeued).
+struct QRecord {
+  tensor::Nonzero nz;
+  cstf::SmallVec<la::Row, 4> queue;
+
+  void serialize(Writer& w) const {
+    nz.serialize(w);
+    Serde<decltype(queue)>::write(w, queue);
+  }
+  static QRecord deserialize(Reader& r) {
+    QRecord q;
+    q.nz = tensor::Nonzero::deserialize(r);
+    q.queue = Serde<decltype(queue)>::read(r);
+    return q;
+  }
+  std::size_t serializedSize() const {
+    return nz.serializedSize() + Serde<decltype(queue)>::byteSize(queue);
+  }
+
+  friend bool operator==(const QRecord& a, const QRecord& b) {
+    return a.nz == b.nz && a.queue == b.queue;
+  }
+};
+
+}  // namespace cstf::cstf_core

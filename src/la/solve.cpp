@@ -1,0 +1,148 @@
+#include "la/solve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cstf::la {
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  CSTF_CHECK(a.rows() == a.cols(), "cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return std::nullopt;
+    l(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return l;
+}
+
+std::vector<double> choleskySolve(const Matrix& l,
+                                  const std::vector<double>& b) {
+  const std::size_t n = l.rows();
+  CSTF_CHECK(b.size() == n, "choleskySolve: dimension mismatch");
+  // Forward: L y = b
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  // Back: L^T x = y
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+EigenSym jacobiEigenSym(const Matrix& a, int maxSweeps) {
+  CSTF_CHECK(a.rows() == a.cols(), "jacobiEigenSym: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix d = a;  // working copy, driven to diagonal
+  Matrix q = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += d(i, j) * d(i, j);
+    }
+    if (off < 1e-30) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t r = p + 1; r < n; ++r) {
+        const double apq = d(p, r);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = d(p, p);
+        const double aqq = d(r, r);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, r);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, r) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(r, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(r, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double qkp = q(k, p);
+          const double qkq = q(k, r);
+          q(k, p) = c * qkp - s * qkq;
+          q(k, r) = s * qkp + c * qkq;
+        }
+      }
+    }
+  }
+
+  EigenSym out;
+  out.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.values[i] = d(i, i);
+
+  // Sort ascending, permuting eigenvector columns along.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return out.values[x] < out.values[y];
+  });
+  std::vector<double> sortedVals(n);
+  Matrix sortedVecs(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    sortedVals[c] = out.values[order[c]];
+    for (std::size_t rIdx = 0; rIdx < n; ++rIdx) {
+      sortedVecs(rIdx, c) = q(rIdx, order[c]);
+    }
+  }
+  out.values = std::move(sortedVals);
+  out.vectors = std::move(sortedVecs);
+  return out;
+}
+
+Matrix pinvSym(const Matrix& a, double rcond) {
+  const EigenSym eig = jacobiEigenSym(a);
+  const std::size_t n = a.rows();
+  double wmax = 0.0;
+  for (double w : eig.values) wmax = std::max(wmax, std::abs(w));
+  const double cutoff = wmax * rcond;
+
+  // A^+ = Q diag(1/w if |w| > cutoff else 0) Q^T
+  Matrix out(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = eig.values[k];
+    if (std::abs(w) <= cutoff || w == 0.0) continue;
+    const double inv = 1.0 / w;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double qik = eig.vectors(i, k);
+      if (qik == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        out(i, j) += inv * qik * eig.vectors(j, k);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix pinv(const Matrix& b, double rcond) {
+  // B^+ = (B^T B)^+ B^T, valid when B has full column rank (and a usable
+  // approximation otherwise for the small well-behaved matrices here).
+  return matmul(pinvSym(gram(b), rcond), b.transpose());
+}
+
+}  // namespace cstf::la

@@ -1,0 +1,45 @@
+// Factorizations and solvers for the small symmetric matrices of CP-ALS.
+//
+// CP-ALS needs (V)^dagger where V is the Hadamard product of gram matrices —
+// an R x R symmetric positive semi-definite matrix (R is the CP rank, 2 in
+// the paper's experiments). The pseudo-inverse is computed through a cyclic
+// Jacobi eigenvalue decomposition, which is simple, branch-predictable and
+// exact enough at these sizes; a Cholesky path is provided for the strictly
+// positive-definite case and for tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace cstf::la {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+/// Returns std::nullopt if A is not (numerically) positive definite.
+std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solve A x = b with a precomputed Cholesky factor L (forward + back
+/// substitution). b and the result are length-n vectors.
+std::vector<double> choleskySolve(const Matrix& l,
+                                  const std::vector<double>& b);
+
+/// Symmetric eigendecomposition via cyclic Jacobi rotations.
+/// Returns eigenvalues (ascending) and the orthogonal eigenvector matrix Q
+/// with A = Q diag(w) Q^T.
+struct EigenSym {
+  std::vector<double> values;
+  Matrix vectors;  // columns are eigenvectors
+};
+EigenSym jacobiEigenSym(const Matrix& a, int maxSweeps = 64);
+
+/// Moore-Penrose pseudo-inverse of a symmetric positive semi-definite
+/// matrix, via Jacobi eigendecomposition with relative eigenvalue cutoff.
+Matrix pinvSym(const Matrix& a, double rcond = 1e-12);
+
+/// General small-matrix pseudo-inverse of B (m x n) computed through
+/// pinvSym(B^T B) B^T (adequate for the well-conditioned tall-skinny
+/// matrices in tests).
+Matrix pinv(const Matrix& b, double rcond = 1e-12);
+
+}  // namespace cstf::la

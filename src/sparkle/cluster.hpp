@@ -1,0 +1,115 @@
+// Cluster model: topology and calibration constants for the simulated
+// distributed platform.
+//
+// The CSTF paper runs on XSEDE Comet (Intel Xeon E5-2680v3, 24 cores/node,
+// up to 32 worker nodes, Spark 1.5.2 / Hadoop 2.6). This host has one core,
+// so multi-node behaviour is *modeled*: the engine executes the real
+// computation (every record really moves through every transformation and
+// every shuffle really serializes its records), and this ClusterConfig
+// converts the measured work/byte counters into deterministic simulated
+// time. Constants below are calibrated so that a tensor scaled 1/1000 from
+// the paper's datasets lands near 1/1000 of the paper's reported runtimes;
+// see DESIGN.md §2 and EXPERIMENTS.md for the calibration rationale.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace cstf::sparkle {
+
+/// Which framework behaviour the engine emulates.
+///
+/// kSpark: lineage caching honored, shuffle blocks held in memory,
+///         light per-stage scheduling overhead.
+/// kHadoop: caching disabled (MapReduce jobs cannot keep RDDs resident),
+///          every stage's input/output passes through the disk model, and
+///          each shuffle stage pays a per-job startup overhead — the
+///          behaviours §4.3 and §6.4 of the paper credit for BIGtensor's
+///          slowdown.
+enum class ExecutionMode { kSpark, kHadoop };
+
+struct ClusterConfig {
+  /// Worker nodes (the paper sweeps 4, 8, 16, 32).
+  int numNodes = 8;
+  /// Cores per worker (Comet: 24).
+  int coresPerNode = 24;
+
+  /// Key-value records a single core pushes through one transformation per
+  /// second. Spark-1.5-era Scala/Java record pipelines with generic
+  /// serialization process tiny records at O(10^4..10^5)/s/core; 25k/s/core
+  /// reproduces the paper's absolute per-iteration runtimes within ~2x at
+  /// the 1/1000 data scale used here.
+  double recordsPerSecPerCore = 25e3;
+  /// Dense flop throughput per core (vector ops on factor rows).
+  double flopsPerSecPerCore = 1e9;
+  /// Effective per-node network bandwidth (~1 GbE after protocol overhead).
+  double networkBytesPerSecPerNode = 120e6;
+  /// Per-node local-disk / HDFS bandwidth.
+  double diskBytesPerSecPerNode = 100e6;
+  /// Per-stage scheduling/launch latency (Spark task wave startup).
+  double stageOverheadSec = 0.05;
+  /// Additional per-stage cost per worker node (executor coordination and
+  /// the all-to-all shuffle connection setup grow with cluster size). This
+  /// is what makes stage *count* increasingly expensive on large clusters —
+  /// the effect QCOO's fewer-shuffles design targets.
+  double stageOverheadPerNodeSec = 0.0;
+  /// Per-MapReduce-job startup cost (JVM spin-up, HDFS commit) in Hadoop
+  /// mode; each shuffle stage boundary is a job boundary.
+  double jobOverheadSec = 2.5;
+
+  /// Throughput of decoding records out of a serialized-format cache
+  /// (Spark's MEMORY_ONLY_SER); raw caching skips this cost entirely,
+  /// which is why the paper caches tensors raw (§4.1).
+  double cacheDeserializeBytesPerSecPerCore = 100e6;
+  /// Memory expansion of raw (live-object) caching relative to the
+  /// serialized representation — JVM object headers, references, boxing.
+  /// Used only for the cache-memory gauge.
+  double rawCacheExpansionFactor = 2.5;
+
+  /// Fixed cost, in bytes, per non-empty shuffle block (one block exists
+  /// per (map partition, reduce partition) pair): block headers, index
+  /// entries, fetch-request framing. Zero by default so byte metrics
+  /// decompose exactly into record payload + envelope; set it to model the
+  /// classic "many tiny shuffle blocks" penalty of over-partitioning.
+  std::size_t shuffleBlockOverheadBytes = 0;
+
+  /// Serialization framing per shuffled record (JVM object headers, class
+  /// descriptors, references). Added to each record's payload in the byte
+  /// metrics; with R=2 rows the envelope dominates, which is exactly why
+  /// the paper measures ~35% shuffle savings for QCOO when the pure-payload
+  /// analysis of its Table 4 predicts ~33% from stream counts alone.
+  std::size_t recordEnvelopeBytes = 48;
+
+  /// Probability that any task attempt fails after doing its work (the
+  /// "executor lost" case). Failed attempts are retried, recomputing from
+  /// lineage exactly as Spark/Hadoop do — the fault-tolerance property
+  /// that makes these platforms attractive for data-center tensor
+  /// factorization (paper §1, §3). Injection is deterministic in
+  /// (stage, partition, attempt), so runs remain reproducible.
+  double taskFailureRate = 0.0;
+  /// Attempts per task before the job is failed (Spark's spark.task.maxFailures).
+  int maxTaskAttempts = 4;
+
+  ExecutionMode mode = ExecutionMode::kSpark;
+
+  /// Round-robin partition placement, Spark's default block distribution.
+  int nodeOfPartition(std::size_t p) const {
+    CSTF_ASSERT(numNodes > 0, "cluster must have nodes");
+    return static_cast<int>(p % static_cast<std::size_t>(numNodes));
+  }
+
+  int totalCores() const { return numNodes * coresPerNode; }
+
+  void validate() const {
+    CSTF_CHECK(numNodes > 0, "numNodes must be positive");
+    CSTF_CHECK(coresPerNode > 0, "coresPerNode must be positive");
+    CSTF_CHECK(recordsPerSecPerCore > 0, "record throughput must be positive");
+    CSTF_CHECK(flopsPerSecPerCore > 0, "flop throughput must be positive");
+    CSTF_CHECK(networkBytesPerSecPerNode > 0, "network bandwidth must be positive");
+    CSTF_CHECK(diskBytesPerSecPerNode > 0, "disk bandwidth must be positive");
+  }
+};
+
+}  // namespace cstf::sparkle

@@ -1,0 +1,67 @@
+// Engine context: owns the executor pool, cluster model and metrics —
+// the moral equivalent of a SparkContext.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/thread_pool.hpp"
+#include "sparkle/cluster.hpp"
+#include "sparkle/metrics.hpp"
+#include "sparkle/partitioner.hpp"
+
+namespace cstf::sparkle {
+
+class Context {
+ public:
+  /// `defaultParallelism` is the partition count used when an RDD factory
+  /// or wide operation is not given one explicitly; 0 picks
+  /// max(16, 2 * numNodes) so a 32-node sweep always has work per node.
+  explicit Context(ClusterConfig config = {}, std::size_t threads = 0,
+                   std::size_t defaultParallelism = 0)
+      : config_(config),
+        metrics_(&config_),
+        pool_(threads),
+        defaultParallelism_(defaultParallelism != 0
+                                ? defaultParallelism
+                                : std::max<std::size_t>(
+                                      16, 2 * static_cast<std::size_t>(
+                                              config.numNodes))) {
+    config_.validate();
+  }
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  const ClusterConfig& config() const { return config_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  cstf::ThreadPool& pool() { return pool_; }
+  std::size_t defaultParallelism() const { return defaultParallelism_; }
+
+  std::uint64_t nextDatasetId() {
+    return nextDatasetId_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// A fresh hash partitioner with the given (or default) partition count.
+  std::shared_ptr<Partitioner> hashPartitioner(std::size_t numPartitions = 0) {
+    return std::make_shared<HashPartitioner>(
+        numPartitions != 0 ? numPartitions : defaultParallelism_);
+  }
+
+  bool cachingEnabled() const {
+    // MapReduce jobs cannot keep datasets resident between jobs; in Hadoop
+    // mode cache() is a no-op and lineage recomputes from the source.
+    return config_.mode == ExecutionMode::kSpark;
+  }
+
+ private:
+  ClusterConfig config_;
+  MetricsRegistry metrics_;
+  cstf::ThreadPool pool_;
+  std::size_t defaultParallelism_;
+  std::atomic<std::uint64_t> nextDatasetId_{1};
+};
+
+}  // namespace cstf::sparkle

@@ -1,0 +1,577 @@
+// Dataset DAG nodes: the lazy, lineage-tracked backbone of the engine.
+//
+// Mirrors Spark's RDD execution model:
+//  * narrow transformations (map/filter/mapValues/...) pipeline — a task
+//    computing partition p of a mapped dataset recursively computes
+//    partition p of its parent inside the same task;
+//  * `cache()` memoizes computed partitions, truncating lineage exactly the
+//    way Spark's persist() does — without it, every downstream stage
+//    recomputes the chain from the source (and re-meters the source read);
+//  * wide dependencies live in shuffle.hpp.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/counters.hpp"
+#include "common/error.hpp"
+#include "common/serde.hpp"
+#include "sparkle/context.hpp"
+#include "sparkle/partitioner.hpp"
+
+namespace cstf::sparkle {
+
+struct TaskContext {
+  TaskCounters counters;
+  std::size_t partitionId = 0;
+};
+
+/// Deterministic task-failure injection: failure of (stage, partition,
+/// attempt) is a pure function of those coordinates, so fault-injected
+/// runs stay reproducible.
+inline bool injectTaskFailure(const ClusterConfig& cfg,
+                              std::uint64_t stageId, std::size_t partition,
+                              int attempt) {
+  if (cfg.taskFailureRate <= 0.0) return false;
+  const std::uint64_t h =
+      mix64(mix64(stageId * 0x9e3779b1u) ^
+            mix64(partition * 0x85ebca77u + static_cast<unsigned>(attempt)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < cfg.taskFailureRate;
+}
+
+/// Run one task body with Spark-style fault tolerance: a failed attempt
+/// (the injected "executor lost after the work" case) is discarded —
+/// including its counters — and the body reruns, recomputing any uncached
+/// lineage. Bodies must therefore be idempotent in their side effects
+/// (every engine task writes to a per-partition slot, so last-write-wins).
+///
+/// For injection rates below 1 the final attempt is exempt from injection,
+/// so a fault-injected run always completes (deterministic injection would
+/// otherwise doom some task to maxTaskAttempts correlated failures). A
+/// rate >= 1 models a hard fault: the job aborts with cstf::Error after
+/// maxTaskAttempts attempts, as Spark does.
+template <typename Body>
+void runTaskWithRetries(Context* ctx, std::uint64_t stageId,
+                        std::size_t partition, TaskContext& out,
+                        Body&& body) {
+  const ClusterConfig& cfg = ctx->config();
+  const int maxAttempts = std::max(1, cfg.maxTaskAttempts);
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    TaskContext tc;
+    tc.partitionId = partition;
+    body(tc);
+    const bool lastAttempt = attempt + 1 >= maxAttempts;
+    const bool mayFail = !lastAttempt || cfg.taskFailureRate >= 1.0;
+    if (!mayFail || !injectTaskFailure(cfg, stageId, partition, attempt)) {
+      out = tc;
+      return;
+    }
+    ctx->metrics().noteTaskRetry();
+  }
+  throw Error(
+      "task permanently failed after " + std::to_string(maxAttempts) +
+      " attempts (stage " + std::to_string(stageId) + ", partition " +
+      std::to_string(partition) + ")");
+}
+
+/// Immutable computed partition contents, shareable between consumers.
+template <typename T>
+using Block = std::shared_ptr<const std::vector<T>>;
+
+template <typename T>
+Block<T> makeBlock(std::vector<T>&& v) {
+  return std::make_shared<const std::vector<T>>(std::move(v));
+}
+
+class DatasetBase {
+ public:
+  DatasetBase(Context* ctx, std::size_t numPartitions)
+      : ctx_(ctx), numPartitions_(numPartitions), id_(ctx->nextDatasetId()) {
+    CSTF_ASSERT(numPartitions > 0, "dataset needs >= 1 partition");
+  }
+  virtual ~DatasetBase() = default;
+
+  DatasetBase(const DatasetBase&) = delete;
+  DatasetBase& operator=(const DatasetBase&) = delete;
+
+  std::size_t numPartitions() const { return numPartitions_; }
+  std::uint64_t id() const { return id_; }
+  Context* context() const { return ctx_; }
+  virtual std::string opName() const = 0;
+  /// Direct lineage parents (for explain()/debug output).
+  virtual std::vector<const DatasetBase*> parents() const { return {}; }
+
+  /// Materialize every shuffle dependency beneath this node (post-order),
+  /// so that subsequent partition() calls only run narrow chains.
+  virtual void ensureReady() = 0;
+
+  /// Partitioner this dataset's output is known to respect, or null.
+  const std::shared_ptr<Partitioner>& outputPartitioning() const {
+    return partitioning_;
+  }
+
+ protected:
+  void setOutputPartitioning(std::shared_ptr<Partitioner> p) {
+    partitioning_ = std::move(p);
+  }
+
+  Context* ctx_;
+  std::size_t numPartitions_;
+  std::uint64_t id_;
+  std::shared_ptr<Partitioner> partitioning_;
+};
+
+/// How cached partitions are held (paper §4.1 / Spark storage levels):
+/// kRaw keeps live objects — fast to read back, memory-hungry;
+/// kSerialized keeps encoded bytes — compact, but every read pays a
+/// metered deserialization cost.
+enum class StorageLevel { kNone, kRaw, kSerialized };
+
+template <typename T>
+class Dataset : public DatasetBase {
+ public:
+  using element_type = T;
+  using DatasetBase::DatasetBase;
+
+  /// Compute (or fetch from cache) the contents of partition `p`.
+  Block<T> partition(std::size_t p, TaskContext& tc) {
+    CSTF_ASSERT(p < numPartitions_, "partition index out of range");
+    switch (level_.load(std::memory_order_acquire)) {
+      case StorageLevel::kNone:
+        return computePartition(p, tc);
+      case StorageLevel::kRaw: {
+        {
+          std::lock_guard<std::mutex> lock(cacheMutex_);
+          if (p < rawCache_.size() && rawCache_[p]) return rawCache_[p];
+        }
+        Block<T> block = computePartition(p, tc);
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        if (rawCache_.size() != numPartitions_) {
+          rawCache_.resize(numPartitions_);
+        }
+        if (!rawCache_[p]) rawCache_[p] = block;
+        return rawCache_[p];
+      }
+      case StorageLevel::kSerialized: {
+        std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+        {
+          std::lock_guard<std::mutex> lock(cacheMutex_);
+          if (p < serCache_.size() && serCache_[p]) bytes = serCache_[p];
+        }
+        if (bytes) {
+          // Every hit decodes the whole partition (Spark MEMORY_ONLY_SER).
+          std::vector<T> recs;
+          Reader r(bytes->data(), bytes->size());
+          while (!r.exhausted()) recs.push_back(serdeRead<T>(r));
+          tc.counters.cacheBytesDeserialized += bytes->size();
+          return makeBlock(std::move(recs));
+        }
+        Block<T> block = computePartition(p, tc);
+        auto buf = std::make_shared<std::vector<std::uint8_t>>();
+        for (const T& rec : *block) serdeWrite(*buf, rec);
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        if (serCache_.size() != numPartitions_) {
+          serCache_.resize(numPartitions_);
+        }
+        if (!serCache_[p]) serCache_[p] = std::move(buf);
+        return block;
+      }
+    }
+    return computePartition(p, tc);
+  }
+
+  /// Memoize partitions from now on (no-op under Hadoop mode, decided by
+  /// the caller via Context::cachingEnabled()).
+  void enableCache(StorageLevel level = StorageLevel::kRaw) {
+    CSTF_CHECK(level != StorageLevel::kNone,
+               "use unpersist() to disable caching");
+    level_.store(level, std::memory_order_release);
+  }
+
+  /// Drop memoized partitions and stop caching (Spark unpersist()).
+  void unpersist() {
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    level_.store(StorageLevel::kNone, std::memory_order_release);
+    rawCache_.clear();
+    rawCache_.shrink_to_fit();
+    serCache_.clear();
+    serCache_.shrink_to_fit();
+  }
+
+  bool isCached() const {
+    return level_.load(std::memory_order_acquire) != StorageLevel::kNone;
+  }
+  StorageLevel storageLevel() const {
+    return level_.load(std::memory_order_acquire);
+  }
+
+  bool fullyCached() const {
+    const StorageLevel level = level_.load(std::memory_order_acquire);
+    if (level == StorageLevel::kNone) return false;
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    if (level == StorageLevel::kRaw) {
+      if (rawCache_.size() != numPartitions_) return false;
+      for (const auto& b : rawCache_) {
+        if (!b) return false;
+      }
+    } else {
+      if (serCache_.size() != numPartitions_) return false;
+      for (const auto& b : serCache_) {
+        if (!b) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Estimated executor memory held by this dataset's cache. Serialized
+  /// caches report their exact byte footprint; raw caches report the
+  /// serialized size scaled by the configured live-object expansion — the
+  /// space/CPU trade-off of paper §4.1.
+  std::uint64_t cachedMemoryBytes() const {
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    std::uint64_t total = 0;
+    for (const auto& b : serCache_) {
+      if (b) total += b->size();
+    }
+    double raw = 0.0;
+    for (const auto& b : rawCache_) {
+      if (!b) continue;
+      std::size_t sz = 0;
+      for (const T& rec : *b) sz += serdeSize(rec);
+      raw += static_cast<double>(sz);
+    }
+    total += static_cast<std::uint64_t>(
+        raw * this->ctx_->config().rawCacheExpansionFactor);
+    return total;
+  }
+
+ protected:
+  virtual Block<T> computePartition(std::size_t p, TaskContext& tc) = 0;
+
+ private:
+  std::atomic<StorageLevel> level_{StorageLevel::kNone};
+  mutable std::mutex cacheMutex_;
+  std::vector<Block<T>> rawCache_;
+  std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> serCache_;
+};
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Dataset backed by driver-provided data, pre-split into blocks. Each read
+/// of a partition meters a "source read" of its serialized size — the HDFS
+/// scan Spark would perform when lineage reaches the source. Cached reads
+/// (Spark mode) pay it once; Hadoop mode pays it per job.
+template <typename T>
+class ParallelizeDataset final : public Dataset<T> {
+ public:
+  ParallelizeDataset(Context* ctx, std::vector<T> data,
+                     std::size_t numPartitions)
+      : Dataset<T>(ctx, numPartitions) {
+    blocks_.reserve(numPartitions);
+    bytes_.reserve(numPartitions);
+    const std::size_t n = data.size();
+    std::size_t begin = 0;
+    for (std::size_t p = 0; p < numPartitions; ++p) {
+      const std::size_t end = n * (p + 1) / numPartitions;
+      std::vector<T> part(std::make_move_iterator(data.begin() + begin),
+                          std::make_move_iterator(data.begin() + end));
+      std::size_t sz = 0;
+      for (const T& rec : part) sz += serdeSize(rec);
+      bytes_.push_back(sz);
+      blocks_.push_back(makeBlock(std::move(part)));
+      begin = end;
+    }
+  }
+
+  std::string opName() const override { return "parallelize"; }
+  void ensureReady() override {}
+
+ protected:
+  Block<T> computePartition(std::size_t p, TaskContext& tc) override {
+    tc.counters.sourceBytesRead += bytes_[p];
+    tc.counters.recordsProcessed += blocks_[p]->size();
+    return blocks_[p];
+  }
+
+ private:
+  std::vector<Block<T>> blocks_;
+  std::vector<std::size_t> bytes_;
+};
+
+/// Dataset whose records are produced on demand by f(globalIndex). Keeps no
+/// copy of the data — lineage recomputation really regenerates it.
+template <typename T, typename F>
+class GeneratorDataset final : public Dataset<T> {
+ public:
+  GeneratorDataset(Context* ctx, std::size_t count, F f,
+                   std::size_t numPartitions)
+      : Dataset<T>(ctx, numPartitions),
+        count_(count),
+        f_(std::move(f)),
+        bytes_(numPartitions, 0),
+        bytesKnown_(numPartitions, false) {}
+
+  std::string opName() const override { return "generate"; }
+  void ensureReady() override {}
+
+ protected:
+  Block<T> computePartition(std::size_t p, TaskContext& tc) override {
+    const std::size_t begin = count_ * p / this->numPartitions();
+    const std::size_t end = count_ * (p + 1) / this->numPartitions();
+    std::vector<T> out;
+    out.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) out.push_back(f_(i));
+    std::size_t sz;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!bytesKnown_[p]) {
+        std::size_t s = 0;
+        for (const T& rec : out) s += serdeSize(rec);
+        bytes_[p] = s;
+        bytesKnown_[p] = true;
+      }
+      sz = bytes_[p];
+    }
+    tc.counters.sourceBytesRead += sz;
+    tc.counters.recordsProcessed += out.size();
+    return makeBlock(std::move(out));
+  }
+
+ private:
+  std::size_t count_;
+  F f_;
+  std::mutex mutex_;
+  std::vector<std::size_t> bytes_;
+  std::vector<bool> bytesKnown_;
+};
+
+/// Dataset over already-computed blocks with no upstream lineage. Produced
+/// by Rdd::snapshot(); reads meter nothing (the data is resident, exactly
+/// like a cached-partition hit).
+template <typename T>
+class BlocksDataset final : public Dataset<T> {
+ public:
+  BlocksDataset(Context* ctx, std::vector<Block<T>> blocks,
+                std::shared_ptr<Partitioner> partitioning)
+      : Dataset<T>(ctx, blocks.size()), blocks_(std::move(blocks)) {
+    this->setOutputPartitioning(std::move(partitioning));
+  }
+
+  std::string opName() const override { return "blocks"; }
+  void ensureReady() override {}
+
+ protected:
+  Block<T> computePartition(std::size_t p, TaskContext&) override {
+    return blocks_[p];
+  }
+
+ private:
+  std::vector<Block<T>> blocks_;
+};
+
+// ---------------------------------------------------------------------------
+// Narrow transformations
+// ---------------------------------------------------------------------------
+
+/// map / mapValues (the latter preserves partitioning, decided by caller).
+template <typename In, typename Out, typename F>
+class MapDataset final : public Dataset<Out> {
+ public:
+  MapDataset(Context* ctx, std::shared_ptr<Dataset<In>> parent, F f,
+             double flopsPerRecord, bool preservesPartitioning,
+             std::string name)
+      : Dataset<Out>(ctx, parent->numPartitions()),
+        parent_(std::move(parent)),
+        f_(std::move(f)),
+        flopsPerRecord_(flopsPerRecord),
+        name_(std::move(name)) {
+    if (preservesPartitioning) {
+      this->setOutputPartitioning(parent_->outputPartitioning());
+    }
+  }
+
+  std::string opName() const override { return name_; }
+  std::vector<const DatasetBase*> parents() const override { return {parent_.get()}; }
+  void ensureReady() override { parent_->ensureReady(); }
+
+ protected:
+  Block<Out> computePartition(std::size_t p, TaskContext& tc) override {
+    Block<In> in = parent_->partition(p, tc);
+    std::vector<Out> out;
+    out.reserve(in->size());
+    for (const In& x : *in) out.push_back(f_(x));
+    tc.counters.recordsProcessed += in->size();
+    tc.counters.flops +=
+        static_cast<std::uint64_t>(flopsPerRecord_ * in->size());
+    return makeBlock(std::move(out));
+  }
+
+ private:
+  std::shared_ptr<Dataset<In>> parent_;
+  F f_;
+  double flopsPerRecord_;
+  std::string name_;
+};
+
+template <typename T, typename F>
+class FilterDataset final : public Dataset<T> {
+ public:
+  FilterDataset(Context* ctx, std::shared_ptr<Dataset<T>> parent, F f)
+      : Dataset<T>(ctx, parent->numPartitions()),
+        parent_(std::move(parent)),
+        f_(std::move(f)) {
+    this->setOutputPartitioning(parent_->outputPartitioning());
+  }
+
+  std::string opName() const override { return "filter"; }
+  std::vector<const DatasetBase*> parents() const override { return {parent_.get()}; }
+  void ensureReady() override { parent_->ensureReady(); }
+
+ protected:
+  Block<T> computePartition(std::size_t p, TaskContext& tc) override {
+    Block<T> in = parent_->partition(p, tc);
+    std::vector<T> out;
+    for (const T& x : *in) {
+      if (f_(x)) out.push_back(x);
+    }
+    tc.counters.recordsProcessed += in->size();
+    return makeBlock(std::move(out));
+  }
+
+ private:
+  std::shared_ptr<Dataset<T>> parent_;
+  F f_;
+};
+
+/// flatMap: f(x) returns a container of Out.
+template <typename In, typename Out, typename F>
+class FlatMapDataset final : public Dataset<Out> {
+ public:
+  FlatMapDataset(Context* ctx, std::shared_ptr<Dataset<In>> parent, F f)
+      : Dataset<Out>(ctx, parent->numPartitions()),
+        parent_(std::move(parent)),
+        f_(std::move(f)) {}
+
+  std::string opName() const override { return "flatMap"; }
+  std::vector<const DatasetBase*> parents() const override { return {parent_.get()}; }
+  void ensureReady() override { parent_->ensureReady(); }
+
+ protected:
+  Block<Out> computePartition(std::size_t p, TaskContext& tc) override {
+    Block<In> in = parent_->partition(p, tc);
+    std::vector<Out> out;
+    for (const In& x : *in) {
+      for (auto& y : f_(x)) out.push_back(std::move(y));
+    }
+    tc.counters.recordsProcessed += in->size();
+    return makeBlock(std::move(out));
+  }
+
+ private:
+  std::shared_ptr<Dataset<In>> parent_;
+  F f_;
+};
+
+/// mapPartitions: f(const std::vector<In>&) -> std::vector<Out>. Used for
+/// per-partition aggregation (e.g. local gram accumulation).
+template <typename In, typename Out, typename F>
+class MapPartitionsDataset final : public Dataset<Out> {
+ public:
+  MapPartitionsDataset(Context* ctx, std::shared_ptr<Dataset<In>> parent, F f,
+                       bool preservesPartitioning)
+      : Dataset<Out>(ctx, parent->numPartitions()),
+        parent_(std::move(parent)),
+        f_(std::move(f)) {
+    if (preservesPartitioning) {
+      this->setOutputPartitioning(parent_->outputPartitioning());
+    }
+  }
+
+  std::string opName() const override { return "mapPartitions"; }
+  std::vector<const DatasetBase*> parents() const override { return {parent_.get()}; }
+  void ensureReady() override { parent_->ensureReady(); }
+
+ protected:
+  Block<Out> computePartition(std::size_t p, TaskContext& tc) override {
+    Block<In> in = parent_->partition(p, tc);
+    std::vector<Out> out = f_(*in);
+    tc.counters.recordsProcessed += in->size();
+    return makeBlock(std::move(out));
+  }
+
+ private:
+  std::shared_ptr<Dataset<In>> parent_;
+  F f_;
+};
+
+/// mapPartitionsWithIndex: f(partitionIndex, const std::vector<In>&) ->
+/// std::vector<Out>. The index parameter enables deterministic
+/// per-partition seeding (sampling) and offset assignment (zipWithIndex).
+template <typename In, typename Out, typename F>
+class MapPartitionsWithIndexDataset final : public Dataset<Out> {
+ public:
+  MapPartitionsWithIndexDataset(Context* ctx,
+                                std::shared_ptr<Dataset<In>> parent, F f,
+                                bool preservesPartitioning)
+      : Dataset<Out>(ctx, parent->numPartitions()),
+        parent_(std::move(parent)),
+        f_(std::move(f)) {
+    if (preservesPartitioning) {
+      this->setOutputPartitioning(parent_->outputPartitioning());
+    }
+  }
+
+  std::string opName() const override { return "mapPartitionsWithIndex"; }
+  std::vector<const DatasetBase*> parents() const override { return {parent_.get()}; }
+  void ensureReady() override { parent_->ensureReady(); }
+
+ protected:
+  Block<Out> computePartition(std::size_t p, TaskContext& tc) override {
+    Block<In> in = parent_->partition(p, tc);
+    std::vector<Out> out = f_(p, *in);
+    tc.counters.recordsProcessed += in->size();
+    return makeBlock(std::move(out));
+  }
+
+ private:
+  std::shared_ptr<Dataset<In>> parent_;
+  F f_;
+};
+
+/// union of two datasets with identical element type; partitions are
+/// concatenated (narrow, like Spark's union).
+template <typename T>
+class UnionDataset final : public Dataset<T> {
+ public:
+  UnionDataset(Context* ctx, std::shared_ptr<Dataset<T>> a,
+               std::shared_ptr<Dataset<T>> b)
+      : Dataset<T>(ctx, a->numPartitions() + b->numPartitions()),
+        a_(std::move(a)),
+        b_(std::move(b)) {}
+
+  std::string opName() const override { return "union"; }
+  std::vector<const DatasetBase*> parents() const override { return {a_.get(), b_.get()}; }
+  void ensureReady() override {
+    a_->ensureReady();
+    b_->ensureReady();
+  }
+
+ protected:
+  Block<T> computePartition(std::size_t p, TaskContext& tc) override {
+    if (p < a_->numPartitions()) return a_->partition(p, tc);
+    return b_->partition(p - a_->numPartitions(), tc);
+  }
+
+ private:
+  std::shared_ptr<Dataset<T>> a_;
+  std::shared_ptr<Dataset<T>> b_;
+};
+
+}  // namespace cstf::sparkle

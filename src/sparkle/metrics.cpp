@@ -1,0 +1,181 @@
+#include "sparkle/metrics.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace cstf::sparkle {
+
+void MetricsRegistry::pushScope(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scopeStack_.push_back(name);
+}
+
+void MetricsRegistry::popScope() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CSTF_ASSERT(!scopeStack_.empty(), "popScope on empty scope stack");
+  scopeStack_.pop_back();
+}
+
+std::string MetricsRegistry::currentScope() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string s;
+  for (const auto& part : scopeStack_) {
+    if (!s.empty()) s += '/';
+    s += part;
+  }
+  return s;
+}
+
+std::uint64_t MetricsRegistry::nextStageId() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nextStageId_++;
+}
+
+std::uint64_t MetricsRegistry::nextShuffleOpId() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nextShuffleOpId_++;
+}
+
+double MetricsRegistry::computeSecondsOf(const TaskCounters& c) const {
+  const auto& cfg = *config_;
+  return static_cast<double>(c.recordsProcessed) / cfg.recordsPerSecPerCore +
+         static_cast<double>(c.flops) / cfg.flopsPerSecPerCore +
+         static_cast<double>(c.sourceBytesRead) /
+             (cfg.diskBytesPerSecPerNode) +
+         static_cast<double>(c.cacheBytesDeserialized) /
+             cfg.cacheDeserializeBytesPerSecPerCore;
+}
+
+double MetricsRegistry::record(StageMetrics m, const StageCost& cost) {
+  const auto& cfg = *config_;
+
+  // Compute phase: the stage finishes when the slowest node finishes, and
+  // never faster than its longest single task.
+  double compute = cost.maxTaskSec;
+  for (const double nodeSec : cost.nodeComputeSec) {
+    compute = std::max(compute, nodeSec);
+  }
+
+  // Network phase: each node pulls its remote shuffle input over its own
+  // link; the slowest node gates the stage.
+  double network = 0.0;
+  for (const std::uint64_t bytes : cost.nodeShuffleBytesInRemote) {
+    network = std::max(network, static_cast<double>(bytes) /
+                                    cfg.networkBytesPerSecPerNode);
+  }
+
+  // Disk phase (Hadoop intermediate materialization), spread over all
+  // nodes' disks.
+  double disk = 0.0;
+  if (cost.diskBytes > 0) {
+    disk = static_cast<double>(cost.diskBytes) /
+           (cfg.diskBytesPerSecPerNode * cfg.numNodes);
+  }
+
+  double overhead =
+      cfg.stageOverheadSec + cfg.stageOverheadPerNodeSec * cfg.numNodes;
+  if (cfg.mode == ExecutionMode::kHadoop) {
+    overhead += cfg.jobOverheadSec * cost.jobsStarted;
+  }
+
+  m.simTimeSec = compute + network + disk + overhead;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (m.stageId == 0) m.stageId = nextStageId_++;
+  if (m.scope.empty()) {
+    for (const auto& part : scopeStack_) {
+      if (!m.scope.empty()) m.scope += '/';
+      m.scope += part;
+    }
+  }
+  stages_.push_back(m);
+  return m.simTimeSec;
+}
+
+std::vector<StageMetrics> MetricsRegistry::stages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stages_;
+}
+
+std::string MetricsRegistry::toCsv() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out =
+      "stage_id,shuffle_op_id,kind,scope,label,records_processed,flops,"
+      "source_bytes,shuffle_records,shuffle_bytes_remote,"
+      "shuffle_bytes_local,broadcast_bytes,sim_time_sec,wall_time_sec\n";
+  auto kindName = [](StageKind k) {
+    switch (k) {
+      case StageKind::kShuffle: return "shuffle";
+      case StageKind::kResult: return "result";
+      case StageKind::kBroadcast: return "broadcast";
+    }
+    return "?";
+  };
+  for (const auto& s : stages_) {
+    out += strprintf(
+        "%llu,%llu,%s,%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.9g,%.9g\n",
+        static_cast<unsigned long long>(s.stageId),
+        static_cast<unsigned long long>(s.shuffleOpId), kindName(s.kind),
+        s.scope.c_str(), s.label.c_str(),
+        static_cast<unsigned long long>(s.work.recordsProcessed),
+        static_cast<unsigned long long>(s.work.flops),
+        static_cast<unsigned long long>(s.work.sourceBytesRead),
+        static_cast<unsigned long long>(s.shuffleRecords),
+        static_cast<unsigned long long>(s.shuffleBytesRemote),
+        static_cast<unsigned long long>(s.shuffleBytesLocal),
+        static_cast<unsigned long long>(s.broadcastBytes), s.simTimeSec,
+        s.wallTimeSec);
+  }
+  return out;
+}
+
+MetricsTotals MetricsRegistry::totalsLocked(
+    const std::string* scopePrefix) const {
+  MetricsTotals t;
+  std::set<std::uint64_t> ops;
+  for (const auto& s : stages_) {
+    if (scopePrefix != nullptr && s.scope.rfind(*scopePrefix, 0) != 0) {
+      continue;
+    }
+    ++t.stages;
+    if (s.shuffleOpId != 0) ops.insert(s.shuffleOpId);
+    t.shuffleRecords += s.shuffleRecords;
+    t.shuffleBytesRemote += s.shuffleBytesRemote;
+    t.shuffleBytesLocal += s.shuffleBytesLocal;
+    t.broadcastBytes += s.broadcastBytes;
+    t.recordsProcessed += s.work.recordsProcessed;
+    t.flops += s.work.flops;
+    t.simTimeSec += s.simTimeSec;
+    t.wallTimeSec += s.wallTimeSec;
+  }
+  t.shuffleOps = ops.size();
+  return t;
+}
+
+MetricsTotals MetricsRegistry::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totalsLocked(nullptr);
+}
+
+MetricsTotals MetricsRegistry::totalsForScope(
+    const std::string& scopePrefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totalsLocked(&scopePrefix);
+}
+
+double MetricsRegistry::simTimeSec() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double t = 0.0;
+  for (const auto& s : stages_) t += s.simTimeSec;
+  return t;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stages_.clear();
+  taskRetries_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cstf::sparkle

@@ -1,0 +1,370 @@
+// Wide dependencies: the shuffle.
+//
+// A ShuffledDataset cuts the DAG into stages exactly where Spark does. On
+// materialization it
+//   1. runs one map task per parent partition (optionally applying a
+//      map-side combiner, as Spark's reduceByKey does),
+//   2. serializes every record through common/serde into per-destination
+//      buckets — so the byte metrics reflect true encoded sizes plus the
+//      configured per-record envelope,
+//   3. "fetches" buckets into destination partitions, classifying bytes as
+//      remote or local by the round-robin node placement of source and
+//      destination partitions,
+//   4. records one StageMetrics entry (with per-node costs) in the metrics
+//      registry, which runs the cluster time model.
+//
+// Join is then a *narrow* dataset over two co-partitioned shuffles — again
+// mirroring Spark, where the two shuffle stages feed a result stage that
+// performs the per-partition hash join.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sparkle/dataset.hpp"
+
+namespace cstf::sparkle {
+
+template <typename K, typename V>
+class ShuffledDataset final : public Dataset<std::pair<K, V>> {
+ public:
+  using Rec = std::pair<K, V>;
+  using Combiner = std::function<V(const V&, const V&)>;
+
+  /// `combiner`, when set, merges values with equal keys *within each map
+  /// task before serialization* (Spark map-side combine); the reduce side
+  /// still needs its own merge across map tasks.
+  ShuffledDataset(Context* ctx, std::shared_ptr<Dataset<Rec>> parent,
+                  std::shared_ptr<Partitioner> partitioner, std::string label,
+                  std::uint64_t shuffleOpId, Combiner combiner = nullptr,
+                  double combinerFlopsPerMerge = 0.0)
+      : Dataset<Rec>(ctx, partitioner->numPartitions()),
+        parent_(std::move(parent)),
+        partitioner_(std::move(partitioner)),
+        label_(std::move(label)),
+        shuffleOpId_(shuffleOpId),
+        combiner_(std::move(combiner)),
+        combinerFlopsPerMerge_(combinerFlopsPerMerge) {
+    this->setOutputPartitioning(partitioner_);
+  }
+
+  std::string opName() const override { return "shuffle:" + label_; }
+  std::vector<const DatasetBase*> parents() const override { return {parent_.get()}; }
+
+  void ensureReady() override {
+    std::call_once(once_, [this] {
+      parent_->ensureReady();
+      materialize();
+    });
+  }
+
+ protected:
+  Block<Rec> computePartition(std::size_t p, TaskContext&) override {
+    ensureReady();
+    return blocks_[p];
+  }
+
+ private:
+  struct MapOutput {
+    // One serialized bucket per destination partition.
+    std::vector<std::vector<std::uint8_t>> buckets;
+    std::vector<std::uint32_t> bucketRecords;
+    TaskCounters counters;
+  };
+
+  void materialize() {
+    const auto t0 = std::chrono::steady_clock::now();
+    Context* ctx = this->context();
+    const ClusterConfig& cfg = ctx->config();
+    const std::size_t pIn = parent_->numPartitions();
+    const std::size_t pOut = partitioner_->numPartitions();
+    const std::uint64_t stageId = ctx->metrics().nextStageId();
+
+    // ---- map side ----
+    std::vector<MapOutput> mapOut(pIn);
+    ctx->pool().parallelFor(pIn, [&](std::size_t p) {
+      TaskContext taskResult;
+      runTaskWithRetries(ctx, stageId, p, taskResult, [&](TaskContext& tc) {
+      Block<Rec> in = parent_->partition(p, tc);
+
+      MapOutput& out = mapOut[p];
+      out.buckets.assign(pOut, {});  // reset fully: the task may be a retry
+      out.bucketRecords.assign(pOut, 0);
+
+      auto emit = [&](const Rec& rec) {
+        const std::size_t dst =
+            partitioner_->partitionOf(KeyHash<K>{}(rec.first));
+        serdeWrite(out.buckets[dst], rec);
+        ++out.bucketRecords[dst];
+      };
+
+      if (combiner_) {
+        std::unordered_map<K, V, StdKeyHash<K>> combined;
+        combined.reserve(in->size());
+        std::uint64_t merges = 0;
+        for (const Rec& rec : *in) {
+          auto [it, fresh] = combined.try_emplace(rec.first, rec.second);
+          if (!fresh) {
+            it->second = combiner_(it->second, rec.second);
+            ++merges;
+          }
+          ++tc.counters.recordsProcessed;
+        }
+        tc.counters.flops +=
+            static_cast<std::uint64_t>(combinerFlopsPerMerge_ * merges);
+        for (const auto& kv : combined) emit(kv);
+        tc.counters.recordsEmitted += combined.size();
+      } else {
+        for (const Rec& rec : *in) {
+          emit(rec);
+          ++tc.counters.recordsProcessed;
+        }
+        tc.counters.recordsEmitted += in->size();
+      }
+      out.counters = tc.counters;
+      });
+    });
+
+    // ---- reduce-side fetch ----
+    blocks_.resize(pOut);
+    std::vector<std::uint64_t> nodeRemoteIn(cfg.numNodes, 0);
+    std::uint64_t totalRemote = 0;
+    std::uint64_t totalLocal = 0;
+    std::uint64_t totalRecords = 0;
+    std::uint64_t totalBytes = 0;
+    std::mutex aggMutex;
+
+    ctx->pool().parallelFor(pOut, [&](std::size_t q) {
+      const int dstNode = cfg.nodeOfPartition(q);
+      std::vector<Rec> recs;
+      std::uint64_t remote = 0;
+      std::uint64_t local = 0;
+      std::uint64_t nrec = 0;
+      for (std::size_t p = 0; p < pIn; ++p) {
+        const auto& bucket = mapOut[p].buckets[q];
+        const std::uint64_t records = mapOut[p].bucketRecords[q];
+        const std::uint64_t bytes =
+            bucket.size() + records * cfg.recordEnvelopeBytes +
+            (records > 0 ? cfg.shuffleBlockOverheadBytes : 0);
+        if (cfg.nodeOfPartition(p) == dstNode) {
+          local += bytes;
+        } else {
+          remote += bytes;
+        }
+        nrec += records;
+        Reader r(bucket.data(), bucket.size());
+        while (!r.exhausted()) recs.push_back(serdeRead<Rec>(r));
+      }
+      blocks_[q] = makeBlock(std::move(recs));
+      std::lock_guard<std::mutex> lock(aggMutex);
+      nodeRemoteIn[dstNode] += remote;
+      totalRemote += remote;
+      totalLocal += local;
+      totalRecords += nrec;
+      totalBytes += remote + local;
+    });
+
+    // ---- metrics ----
+    StageMetrics m;
+    m.stageId = stageId;
+    m.kind = StageKind::kShuffle;
+    m.shuffleOpId = shuffleOpId_;
+    m.label = label_;
+    m.shuffleRecords = totalRecords;
+    m.shuffleBytesRemote = totalRemote;
+    m.shuffleBytesLocal = totalLocal;
+
+    StageCost cost;
+    cost.nodeComputeSec.assign(cfg.numNodes, 0.0);
+    for (std::size_t p = 0; p < pIn; ++p) {
+      m.work += mapOut[p].counters;
+      const double sec = ctx->metrics().computeSecondsOf(mapOut[p].counters);
+      cost.maxTaskSec = std::max(cost.maxTaskSec, sec);
+      cost.nodeComputeSec[cfg.nodeOfPartition(p)] += sec;
+    }
+    for (auto& sec : cost.nodeComputeSec) sec /= cfg.coresPerNode;
+    cost.nodeShuffleBytesInRemote.assign(nodeRemoteIn.begin(),
+                                         nodeRemoteIn.end());
+    if (cfg.mode == ExecutionMode::kHadoop) {
+      // Map outputs spill to local disk; reducers read them back; the job's
+      // output is then committed to HDFS (approximated by the same volume).
+      cost.diskBytes = 3 * totalBytes;
+      cost.jobsStarted = 1;
+    }
+    m.wallTimeSec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ctx->metrics().record(std::move(m), cost);
+  }
+
+  std::shared_ptr<Dataset<Rec>> parent_;
+  std::shared_ptr<Partitioner> partitioner_;
+  std::string label_;
+  std::uint64_t shuffleOpId_;
+  Combiner combiner_;
+  double combinerFlopsPerMerge_ = 0.0;
+  std::once_flag once_;
+  std::vector<Block<Rec>> blocks_;
+};
+
+/// Inner join of two datasets co-partitioned by the same partitioner.
+/// Narrow: partition p of the result reads partition p of both parents and
+/// hash-joins them (build on the right/smaller side, probe with the left).
+template <typename K, typename V, typename W>
+class JoinDataset final
+    : public Dataset<std::pair<K, std::pair<V, W>>> {
+ public:
+  using Out = std::pair<K, std::pair<V, W>>;
+
+  JoinDataset(Context* ctx, std::shared_ptr<Dataset<std::pair<K, V>>> left,
+              std::shared_ptr<Dataset<std::pair<K, W>>> right,
+              std::shared_ptr<Partitioner> partitioner)
+      : Dataset<Out>(ctx, partitioner->numPartitions()),
+        left_(std::move(left)),
+        right_(std::move(right)) {
+    CSTF_CHECK(left_->numPartitions() == partitioner->numPartitions() &&
+                   right_->numPartitions() == partitioner->numPartitions(),
+               "join inputs must be co-partitioned");
+    this->setOutputPartitioning(std::move(partitioner));
+  }
+
+  std::string opName() const override { return "join"; }
+  std::vector<const DatasetBase*> parents() const override { return {left_.get(), right_.get()}; }
+  void ensureReady() override {
+    left_->ensureReady();
+    right_->ensureReady();
+  }
+
+ protected:
+  Block<Out> computePartition(std::size_t p, TaskContext& tc) override {
+    Block<std::pair<K, V>> lhs = left_->partition(p, tc);
+    Block<std::pair<K, W>> rhs = right_->partition(p, tc);
+
+    std::unordered_map<K, std::vector<W>, StdKeyHash<K>> built;
+    built.reserve(rhs->size());
+    for (const auto& [k, w] : *rhs) built[k].push_back(w);
+
+    std::vector<Out> out;
+    out.reserve(lhs->size());
+    for (const auto& [k, v] : *lhs) {
+      auto it = built.find(k);
+      if (it == built.end()) continue;
+      for (const W& w : it->second) out.emplace_back(k, std::pair<V, W>(v, w));
+    }
+    tc.counters.recordsProcessed += lhs->size() + rhs->size();
+    tc.counters.recordsEmitted += out.size();
+    return makeBlock(std::move(out));
+  }
+
+ private:
+  std::shared_ptr<Dataset<std::pair<K, V>>> left_;
+  std::shared_ptr<Dataset<std::pair<K, W>>> right_;
+};
+
+/// cogroup of two co-partitioned datasets: partition p of the result pairs
+/// every key with ALL its values from both sides — the primitive beneath
+/// outer joins.
+template <typename K, typename V, typename W>
+class CoGroupDataset final
+    : public Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> {
+ public:
+  using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
+
+  CoGroupDataset(Context* ctx, std::shared_ptr<Dataset<std::pair<K, V>>> left,
+                 std::shared_ptr<Dataset<std::pair<K, W>>> right,
+                 std::shared_ptr<Partitioner> partitioner)
+      : Dataset<Out>(ctx, partitioner->numPartitions()),
+        left_(std::move(left)),
+        right_(std::move(right)) {
+    CSTF_CHECK(left_->numPartitions() == partitioner->numPartitions() &&
+                   right_->numPartitions() == partitioner->numPartitions(),
+               "cogroup inputs must be co-partitioned");
+    this->setOutputPartitioning(std::move(partitioner));
+  }
+
+  std::string opName() const override { return "cogroup"; }
+  std::vector<const DatasetBase*> parents() const override { return {left_.get(), right_.get()}; }
+  void ensureReady() override {
+    left_->ensureReady();
+    right_->ensureReady();
+  }
+
+ protected:
+  Block<Out> computePartition(std::size_t p, TaskContext& tc) override {
+    Block<std::pair<K, V>> lhs = left_->partition(p, tc);
+    Block<std::pair<K, W>> rhs = right_->partition(p, tc);
+
+    std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>,
+                       StdKeyHash<K>>
+        groups;
+    groups.reserve(lhs->size() + rhs->size());
+    for (const auto& [k, v] : *lhs) groups[k].first.push_back(v);
+    for (const auto& [k, w] : *rhs) groups[k].second.push_back(w);
+
+    std::vector<Out> out;
+    out.reserve(groups.size());
+    for (auto& kv : groups) out.push_back(std::move(kv));
+    tc.counters.recordsProcessed += lhs->size() + rhs->size();
+    tc.counters.recordsEmitted += out.size();
+    return makeBlock(std::move(out));
+  }
+
+ private:
+  std::shared_ptr<Dataset<std::pair<K, V>>> left_;
+  std::shared_ptr<Dataset<std::pair<K, W>>> right_;
+};
+
+/// Final merge after a combined shuffle (reduce side of reduceByKey).
+template <typename K, typename V>
+class ReduceByKeyMergeDataset final : public Dataset<std::pair<K, V>> {
+ public:
+  using Rec = std::pair<K, V>;
+  using Func = std::function<V(const V&, const V&)>;
+
+  ReduceByKeyMergeDataset(Context* ctx, std::shared_ptr<Dataset<Rec>> parent,
+                          Func f, double flopsPerMerge)
+      : Dataset<Rec>(ctx, parent->numPartitions()),
+        parent_(std::move(parent)),
+        f_(std::move(f)),
+        flopsPerMerge_(flopsPerMerge) {
+    this->setOutputPartitioning(parent_->outputPartitioning());
+  }
+
+  std::string opName() const override { return "reduceByKeyMerge"; }
+  std::vector<const DatasetBase*> parents() const override { return {parent_.get()}; }
+  void ensureReady() override { parent_->ensureReady(); }
+
+ protected:
+  Block<Rec> computePartition(std::size_t p, TaskContext& tc) override {
+    Block<Rec> in = parent_->partition(p, tc);
+    std::unordered_map<K, V, StdKeyHash<K>> merged;
+    merged.reserve(in->size());
+    std::uint64_t merges = 0;
+    for (const Rec& rec : *in) {
+      auto [it, fresh] = merged.try_emplace(rec.first, rec.second);
+      if (!fresh) {
+        it->second = f_(it->second, rec.second);
+        ++merges;
+      }
+    }
+    std::vector<Rec> out;
+    out.reserve(merged.size());
+    for (auto& kv : merged) out.push_back(std::move(kv));
+    tc.counters.recordsProcessed += in->size();
+    tc.counters.recordsEmitted += out.size();
+    tc.counters.flops += static_cast<std::uint64_t>(flopsPerMerge_ * merges);
+    return makeBlock(std::move(out));
+  }
+
+ private:
+  std::shared_ptr<Dataset<Rec>> parent_;
+  Func f_;
+  double flopsPerMerge_;
+};
+
+}  // namespace cstf::sparkle

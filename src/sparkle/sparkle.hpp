@@ -1,0 +1,10 @@
+// Umbrella header for the sparkle dataflow engine.
+#pragma once
+
+#include "sparkle/cluster.hpp"    // IWYU pragma: export
+#include "sparkle/context.hpp"    // IWYU pragma: export
+#include "sparkle/dataset.hpp"    // IWYU pragma: export
+#include "sparkle/metrics.hpp"    // IWYU pragma: export
+#include "sparkle/partitioner.hpp" // IWYU pragma: export
+#include "sparkle/rdd.hpp"        // IWYU pragma: export
+#include "sparkle/shuffle.hpp"    // IWYU pragma: export

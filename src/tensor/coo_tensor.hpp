@@ -1,0 +1,103 @@
+// N-order sparse tensor in coordinate (COO) storage — the format CSTF
+// operates on directly (paper §4.1): a list of (i_1, ..., i_N, value)
+// tuples, one per nonzero.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/serde.hpp"
+#include "common/types.hpp"
+
+namespace cstf::tensor {
+
+/// One nonzero entry. Order is carried per record so that a shuffled record
+/// is self-describing; serde encodes only the first `order` indices.
+struct Nonzero {
+  ModeId order = 0;
+  std::array<Index, kMaxOrder> idx{};
+  Value val = 0.0;
+
+  Index operator[](ModeId m) const {
+    CSTF_ASSERT(m < order, "mode index out of range");
+    return idx[m];
+  }
+
+  friend bool operator==(const Nonzero& a, const Nonzero& b) {
+    if (a.order != b.order || a.val != b.val) return false;
+    for (ModeId m = 0; m < a.order; ++m) {
+      if (a.idx[m] != b.idx[m]) return false;
+    }
+    return true;
+  }
+
+  // --- serde (detected by cstf::Serde via member functions) ---
+  void serialize(Writer& w) const {
+    w.writeRaw(order);
+    for (ModeId m = 0; m < order; ++m) w.writeRaw(idx[m]);
+    w.writeRaw(val);
+  }
+  static Nonzero deserialize(Reader& r) {
+    Nonzero nz;
+    nz.order = r.readRaw<ModeId>();
+    CSTF_ASSERT(nz.order <= kMaxOrder, "corrupt Nonzero record");
+    for (ModeId m = 0; m < nz.order; ++m) nz.idx[m] = r.readRaw<Index>();
+    nz.val = r.readRaw<Value>();
+    return nz;
+  }
+  std::size_t serializedSize() const {
+    return sizeof(ModeId) + order * sizeof(Index) + sizeof(Value);
+  }
+};
+
+/// Convenience constructors.
+Nonzero makeNonzero3(Index i, Index j, Index k, Value v);
+Nonzero makeNonzero4(Index i, Index j, Index k, Index l, Value v);
+Nonzero makeNonzero(const std::vector<Index>& idx, Value v);
+
+class CooTensor {
+ public:
+  CooTensor() = default;
+  CooTensor(std::vector<Index> dims, std::vector<Nonzero> nonzeros,
+            std::string name = "");
+
+  ModeId order() const { return static_cast<ModeId>(dims_.size()); }
+  const std::vector<Index>& dims() const { return dims_; }
+  Index dim(ModeId m) const {
+    CSTF_CHECK(m < order(), "mode out of range");
+    return dims_[m];
+  }
+  std::size_t nnz() const { return nonzeros_.size(); }
+  const std::vector<Nonzero>& nonzeros() const { return nonzeros_; }
+  std::vector<Nonzero>& mutableNonzeros() { return nonzeros_; }
+  const std::string& name() const { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+  Index maxModeSize() const;
+  /// nnz / prod(dims); the "Density" column of Table 5.
+  double density() const;
+  /// Frobenius norm of the tensor: sqrt(sum of squared nonzero values).
+  double norm() const;
+
+  /// Sum over duplicate coordinates and drop explicit zeros (canonical
+  /// form; sorts nonzeros lexicographically).
+  void coalesce();
+
+  /// Throws cstf::Error if any nonzero has wrong order or an index outside
+  /// its mode dimension.
+  void validate() const;
+
+  /// Drop the last mode by summing entries that collapse together (e.g.
+  /// delicious4d -> delicious3d in the paper's datasets).
+  CooTensor collapseLastMode() const;
+
+ private:
+  std::vector<Index> dims_;
+  std::vector<Nonzero> nonzeros_;
+  std::string name_;
+};
+
+}  // namespace cstf::tensor

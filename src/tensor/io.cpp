@@ -1,0 +1,175 @@
+#include "tensor/io.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/strings.hpp"
+
+namespace cstf::tensor {
+
+CooTensor readTns(std::istream& in, ModeId expectedOrder) {
+  std::vector<Nonzero> nzs;
+  std::vector<Index> dims;
+  ModeId order = expectedOrder;
+  std::string line;
+  std::size_t lineNo = 0;
+
+  while (std::getline(in, line)) {
+    ++lineNo;
+    // Strip comments and blank lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> fields = splitFields(line, " \t\r");
+    if (fields.empty()) continue;
+
+    if (order == 0) {
+      CSTF_CHECK(fields.size() >= 2 && fields.size() - 1 <= kMaxOrder,
+                 strprintf("line %zu: cannot infer tensor order", lineNo));
+      order = static_cast<ModeId>(fields.size() - 1);
+      dims.assign(order, 0);
+    }
+    if (fields.size() != static_cast<std::size_t>(order) + 1) {
+      throw Error(strprintf("line %zu: expected %d indices + value, got %zu",
+                            lineNo, int(order), fields.size()));
+    }
+    if (dims.empty()) dims.assign(order, 0);
+
+    Nonzero nz;
+    nz.order = order;
+    for (ModeId m = 0; m < order; ++m) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(fields[m].c_str(), &end, 10);
+      if (end == fields[m].c_str() || *end != '\0' || v == 0) {
+        throw Error(strprintf("line %zu: bad index '%s' (must be >= 1)",
+                              lineNo, fields[m].c_str()));
+      }
+      nz.idx[m] = static_cast<Index>(v - 1);  // .tns is 1-based
+      dims[m] = std::max(dims[m], nz.idx[m] + 1);
+    }
+    char* end = nullptr;
+    nz.val = std::strtod(fields[order].c_str(), &end);
+    if (end == fields[order].c_str() || *end != '\0') {
+      throw Error(strprintf("line %zu: bad value '%s'", lineNo,
+                            fields[order].c_str()));
+    }
+    nzs.push_back(nz);
+  }
+
+  CSTF_CHECK(order != 0, "empty .tns input");
+  return CooTensor(std::move(dims), std::move(nzs));
+}
+
+CooTensor readTnsFile(const std::string& path, ModeId expectedOrder) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open tensor file: " + path);
+  CooTensor t = readTns(in, expectedOrder);
+  t.setName(path);
+  return t;
+}
+
+void writeTns(std::ostream& out, const CooTensor& t) {
+  for (const Nonzero& nz : t.nonzeros()) {
+    for (ModeId m = 0; m < nz.order; ++m) {
+      out << (nz.idx[m] + 1) << ' ';
+    }
+    out << strprintf("%.17g", nz.val) << '\n';
+  }
+}
+
+void writeTnsFile(const std::string& path, const CooTensor& t) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open for writing: " + path);
+  writeTns(out, t);
+}
+
+namespace {
+constexpr char kBinaryMagic[8] = {'C', 'S', 'T', 'F', 'B', 'I', 'N', '1'};
+
+template <typename T>
+void putRaw(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T getRaw(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw Error("truncated binary tensor stream");
+  return v;
+}
+}  // namespace
+
+void writeBinary(std::ostream& out, const CooTensor& t) {
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  putRaw<std::uint8_t>(out, t.order());
+  for (Index d : t.dims()) putRaw<std::uint32_t>(out, d);
+  putRaw<std::uint64_t>(out, t.nnz());
+  for (const Nonzero& nz : t.nonzeros()) {
+    for (ModeId m = 0; m < t.order(); ++m) putRaw<std::uint32_t>(out, nz.idx[m]);
+    putRaw<double>(out, nz.val);
+  }
+  if (!out) throw Error("failed writing binary tensor");
+}
+
+void writeBinaryFile(const std::string& path, const CooTensor& t) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open for writing: " + path);
+  writeBinary(out, t);
+}
+
+CooTensor readBinary(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    throw Error("not a CSTF binary tensor (bad magic)");
+  }
+  const auto order = getRaw<std::uint8_t>(in);
+  CSTF_CHECK(order >= 1 && order <= kMaxOrder,
+             "binary tensor has unsupported order");
+  std::vector<Index> dims(order);
+  for (ModeId m = 0; m < order; ++m) dims[m] = getRaw<std::uint32_t>(in);
+  const auto nnz = getRaw<std::uint64_t>(in);
+  std::vector<Nonzero> nzs;
+  nzs.reserve(nnz);
+  for (std::uint64_t i = 0; i < nnz; ++i) {
+    Nonzero nz;
+    nz.order = order;
+    for (ModeId m = 0; m < order; ++m) nz.idx[m] = getRaw<std::uint32_t>(in);
+    nz.val = getRaw<double>(in);
+    nzs.push_back(nz);
+  }
+  CooTensor t(std::move(dims), std::move(nzs));
+  t.validate();
+  return t;
+}
+
+CooTensor readBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open tensor file: " + path);
+  CooTensor t = readBinary(in);
+  t.setName(path);
+  return t;
+}
+
+namespace {
+bool hasBnsExtension(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".bns") == 0;
+}
+}  // namespace
+
+CooTensor readTensorFile(const std::string& path) {
+  return hasBnsExtension(path) ? readBinaryFile(path) : readTnsFile(path);
+}
+
+void writeTensorFile(const std::string& path, const CooTensor& t) {
+  if (hasBnsExtension(path)) {
+    writeBinaryFile(path, t);
+  } else {
+    writeTnsFile(path, t);
+  }
+}
+
+}  // namespace cstf::tensor

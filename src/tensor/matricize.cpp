@@ -1,0 +1,46 @@
+#include "tensor/matricize.hpp"
+
+namespace cstf::tensor {
+
+LongIndex matricizedColumn(const Nonzero& nz, const std::vector<Index>& dims,
+                           ModeId mode) {
+  LongIndex col = 0;
+  LongIndex stride = 1;
+  for (ModeId m = 0; m < nz.order; ++m) {
+    if (m == mode) continue;
+    col += static_cast<LongIndex>(nz.idx[m]) * stride;
+    stride *= dims[m];
+  }
+  return col;
+}
+
+std::vector<Index> columnToIndices(LongIndex col,
+                                   const std::vector<Index>& dims,
+                                   ModeId mode) {
+  std::vector<Index> out;
+  out.reserve(dims.size() - 1);
+  for (ModeId m = 0; m < dims.size(); ++m) {
+    if (m == mode) continue;
+    out.push_back(static_cast<Index>(col % dims[m]));
+    col /= dims[m];
+  }
+  return out;
+}
+
+SparseMatrix matricize(const CooTensor& t, ModeId mode) {
+  CSTF_CHECK(mode < t.order(), "matricize: mode out of range");
+  SparseMatrix m;
+  m.rows = t.dim(mode);
+  m.cols = 1;
+  for (ModeId d = 0; d < t.order(); ++d) {
+    if (d != mode) m.cols *= t.dim(d);
+  }
+  m.entries.reserve(t.nnz());
+  for (const Nonzero& nz : t.nonzeros()) {
+    m.entries.push_back(
+        {nz.idx[mode], matricizedColumn(nz, t.dims(), mode), nz.val});
+  }
+  return m;
+}
+
+}  // namespace cstf::tensor

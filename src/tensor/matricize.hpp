@@ -1,0 +1,54 @@
+// Mode-n matricization (unfolding) of a sparse tensor.
+//
+// CSTF's whole point is to *avoid* this operation (paper §4.1); it is
+// implemented here because the BIGtensor baseline requires it (§4.3) and
+// because tests cross-check MTTKRP against the textbook definition
+// M = X(n) * KhatriRao(...).
+//
+// Convention (Kolda & Bader): the mode-n unfolding maps tensor element
+// (i_1, ..., i_N) to matrix element (i_n, c) with
+//   c = sum_{m != n} i_m * prod_{l < m, l != n} I_l.
+// For a 3-order tensor, mode-1: c = j + k*J, matching the row ordering of
+// khatriRao(C, B).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace cstf::tensor {
+
+struct SparseMatrixEntry {
+  Index row = 0;
+  LongIndex col = 0;
+  Value val = 0.0;
+
+  friend bool operator==(const SparseMatrixEntry& a,
+                         const SparseMatrixEntry& b) {
+    return a.row == b.row && a.col == b.col && a.val == b.val;
+  }
+};
+
+/// Sparse matrix in COO form produced by unfolding.
+struct SparseMatrix {
+  Index rows = 0;
+  LongIndex cols = 0;
+  std::vector<SparseMatrixEntry> entries;
+};
+
+/// Unfold tensor along `mode`.
+SparseMatrix matricize(const CooTensor& t, ModeId mode);
+
+/// Column index of a nonzero in the mode-n unfolding (helper shared with
+/// the BIGtensor backend).
+LongIndex matricizedColumn(const Nonzero& nz, const std::vector<Index>& dims,
+                           ModeId mode);
+
+/// Inverse of matricizedColumn: recover the non-`mode` indices from a
+/// column index (used by tests for a round-trip property).
+std::vector<Index> columnToIndices(LongIndex col,
+                                   const std::vector<Index>& dims,
+                                   ModeId mode);
+
+}  // namespace cstf::tensor

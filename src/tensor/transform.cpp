@@ -1,0 +1,83 @@
+#include "tensor/transform.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace cstf::tensor {
+
+CooTensor permuteModes(const CooTensor& t, const std::vector<ModeId>& perm) {
+  const ModeId order = t.order();
+  CSTF_CHECK(perm.size() == order, "permuteModes: permutation size mismatch");
+  std::vector<bool> seen(order, false);
+  for (ModeId m : perm) {
+    CSTF_CHECK(m < order && !seen[m], "permuteModes: not a permutation");
+    seen[m] = true;
+  }
+
+  std::vector<Index> dims(order);
+  for (ModeId m = 0; m < order; ++m) dims[m] = t.dim(perm[m]);
+  std::vector<Nonzero> nzs;
+  nzs.reserve(t.nnz());
+  for (const Nonzero& nz : t.nonzeros()) {
+    Nonzero out;
+    out.order = order;
+    out.val = nz.val;
+    for (ModeId m = 0; m < order; ++m) out.idx[m] = nz.idx[perm[m]];
+    nzs.push_back(out);
+  }
+  return CooTensor(std::move(dims), std::move(nzs),
+                   t.name() + "-permuted");
+}
+
+CooTensor sliceMode(const CooTensor& t, ModeId mode, Index lo, Index hi) {
+  CSTF_CHECK(mode < t.order(), "sliceMode: mode out of range");
+  CSTF_CHECK(lo < hi && hi <= t.dim(mode), "sliceMode: bad range");
+
+  std::vector<Index> dims = t.dims();
+  dims[mode] = hi - lo;
+  std::vector<Nonzero> nzs;
+  for (const Nonzero& nz : t.nonzeros()) {
+    if (nz.idx[mode] < lo || nz.idx[mode] >= hi) continue;
+    Nonzero out = nz;
+    out.idx[mode] -= lo;
+    nzs.push_back(out);
+  }
+  return CooTensor(std::move(dims), std::move(nzs),
+                   strprintf("%s-slice-m%d", t.name().c_str(), int(mode)));
+}
+
+CooTensor fixMode(const CooTensor& t, ModeId mode, Index index) {
+  CSTF_CHECK(t.order() >= 2, "fixMode: cannot drop below order 1");
+  CSTF_CHECK(mode < t.order(), "fixMode: mode out of range");
+  CSTF_CHECK(index < t.dim(mode), "fixMode: index out of range");
+
+  std::vector<Index> dims;
+  for (ModeId m = 0; m < t.order(); ++m) {
+    if (m != mode) dims.push_back(t.dim(m));
+  }
+  std::vector<Nonzero> nzs;
+  for (const Nonzero& nz : t.nonzeros()) {
+    if (nz.idx[mode] != index) continue;
+    Nonzero out;
+    out.order = static_cast<ModeId>(t.order() - 1);
+    out.val = nz.val;
+    ModeId d = 0;
+    for (ModeId m = 0; m < t.order(); ++m) {
+      if (m != mode) out.idx[d++] = nz.idx[m];
+    }
+    nzs.push_back(out);
+  }
+  return CooTensor(std::move(dims), std::move(nzs),
+                   strprintf("%s-fixed-m%d", t.name().c_str(), int(mode)));
+}
+
+CooTensor scaleValues(const CooTensor& t, double s) {
+  std::vector<Nonzero> nzs = t.nonzeros();
+  for (Nonzero& nz : nzs) nz.val *= s;
+  CooTensor out(t.dims(), std::move(nzs), t.name() + "-scaled");
+  if (s == 0.0) out.coalesce();  // drops the explicit zeros
+  return out;
+}
+
+}  // namespace cstf::tensor

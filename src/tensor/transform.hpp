@@ -1,0 +1,29 @@
+// Structural tensor transformations: mode permutation, slicing, value
+// scaling. Library utilities a downstream user needs to prepare real data
+// (e.g. reorder modes so the largest is first, extract a time window from
+// a 4th-order tagging tensor) and that tests use to assert mode-symmetry
+// invariants of the MTTKRP backends.
+#pragma once
+
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+
+namespace cstf::tensor {
+
+/// Reorder modes: new mode m holds what old mode perm[m] held.
+/// perm must be a permutation of 0..order-1.
+CooTensor permuteModes(const CooTensor& t, const std::vector<ModeId>& perm);
+
+/// Keep only nonzeros with lo <= idx[mode] < hi, re-indexing that mode to
+/// start at zero (dimension becomes hi - lo). Other modes are untouched.
+CooTensor sliceMode(const CooTensor& t, ModeId mode, Index lo, Index hi);
+
+/// Fix one index of `mode` and drop the mode (order decreases by one).
+CooTensor fixMode(const CooTensor& t, ModeId mode, Index index);
+
+/// Multiply every nonzero value by s (s == 0 yields an empty tensor after
+/// coalescing semantics — explicit zeros are dropped).
+CooTensor scaleValues(const CooTensor& t, double s);
+
+}  // namespace cstf::tensor

@@ -1,0 +1,130 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace cstf {
+namespace {
+
+TEST(Pcg32, DeterministicForSeed) {
+  Pcg32 a(123);
+  Pcg32 b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.nextU32() == b.nextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BoundedStaysInRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.nextBounded(17), 17u);
+  }
+}
+
+TEST(Pcg32, BoundedCoversRange) {
+  Pcg32 rng(7);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[rng.nextBounded(8)];
+  for (int h : hits) {
+    EXPECT_GT(h, 700);  // fair-ish: expectation is 1000
+    EXPECT_LT(h, 1300);
+  }
+}
+
+TEST(Pcg32, DoubleInUnitInterval) {
+  Pcg32 rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.nextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Pcg32, DoubleRange) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.nextDouble(-2.0, 3.0);
+    ASSERT_GE(d, -2.0);
+    ASSERT_LT(d, 3.0);
+  }
+}
+
+TEST(Pcg32, GaussianMoments) {
+  Pcg32 rng(11);
+  double sum = 0.0;
+  double sumSq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.nextGaussian();
+    sum += g;
+    sumSq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumSq / n, 1.0, 0.05);
+}
+
+TEST(Zipf, SamplesWithinDomain) {
+  ZipfSampler z(100, 1.0);
+  Pcg32 rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.sample(rng), 100u);
+}
+
+TEST(Zipf, HeadIsHeavier) {
+  ZipfSampler z(1000, 1.1);
+  Pcg32 rng(5);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (z.sample(rng) < 10) ++head;
+  }
+  // With skew 1.1 over 1000 items the top-10 should absorb a large share.
+  EXPECT_GT(head, n / 4);
+}
+
+TEST(Zipf, ZeroishSkewIsFlat) {
+  ZipfSampler z(10, 0.01);
+  Pcg32 rng(5);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[z.sample(rng)];
+  for (int h : hits) {
+    EXPECT_GT(h, 700);
+    EXPECT_LT(h, 1400);
+  }
+}
+
+TEST(Mix64, IsAPermutationOnSamples) {
+  std::map<std::uint64_t, std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const std::uint64_t h = mix64(i);
+    EXPECT_TRUE(seen.emplace(h, i).second) << "collision at " << i;
+  }
+}
+
+TEST(Mix64, SpreadsSequentialKeys) {
+  // The partitioning use case: consecutive tensor indices must spread
+  // across partitions rather than land in runs.
+  const std::size_t parts = 16;
+  std::vector<int> hits(parts, 0);
+  for (std::uint64_t i = 0; i < 16000; ++i) ++hits[mix64(i) % parts];
+  for (int h : hits) {
+    EXPECT_GT(h, 800);
+    EXPECT_LT(h, 1200);
+  }
+}
+
+}  // namespace
+}  // namespace cstf

@@ -1,0 +1,126 @@
+#include "common/serde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/small_vector.hpp"
+
+namespace cstf {
+namespace {
+
+template <typename T>
+T roundTrip(const T& v) {
+  std::vector<std::uint8_t> buf;
+  serdeWrite(buf, v);
+  EXPECT_EQ(buf.size(), serdeSize(v)) << "byteSize must match encoded size";
+  Reader r(buf.data(), buf.size());
+  T out = serdeRead<T>(r);
+  EXPECT_TRUE(r.exhausted());
+  return out;
+}
+
+TEST(Serde, Integers) {
+  EXPECT_EQ(roundTrip<std::uint8_t>(0xAB), 0xAB);
+  EXPECT_EQ(roundTrip<std::uint32_t>(0xDEADBEEF), 0xDEADBEEFu);
+  EXPECT_EQ(roundTrip<std::int64_t>(-1234567890123LL), -1234567890123LL);
+  EXPECT_EQ(serdeSize(std::uint32_t{7}), 4u);
+  EXPECT_EQ(serdeSize(std::uint64_t{7}), 8u);
+}
+
+TEST(Serde, Doubles) {
+  EXPECT_DOUBLE_EQ(roundTrip(3.14159), 3.14159);
+  EXPECT_DOUBLE_EQ(roundTrip(-0.0), -0.0);
+  EXPECT_EQ(serdeSize(1.0), 8u);
+}
+
+TEST(Serde, Pair) {
+  auto p = std::make_pair(std::uint32_t{42}, 2.5);
+  EXPECT_EQ(roundTrip(p), p);
+  EXPECT_EQ(serdeSize(p), 12u);
+}
+
+TEST(Serde, NestedPair) {
+  std::pair<std::uint32_t, std::pair<std::uint64_t, double>> p{
+      1, {2, 3.0}};
+  EXPECT_EQ(roundTrip(p), p);
+  EXPECT_EQ(serdeSize(p), 20u);
+}
+
+TEST(Serde, Tuple) {
+  auto t = std::make_tuple(std::uint32_t{1}, 2.0, std::uint8_t{3});
+  EXPECT_EQ(roundTrip(t), t);
+  EXPECT_EQ(serdeSize(t), 13u);
+}
+
+TEST(Serde, VectorOfDoubles) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_EQ(roundTrip(v), v);
+  EXPECT_EQ(serdeSize(v), 4u + 3 * 8u);
+}
+
+TEST(Serde, EmptyVector) {
+  std::vector<double> v;
+  EXPECT_EQ(roundTrip(v), v);
+  EXPECT_EQ(serdeSize(v), 4u);
+}
+
+TEST(Serde, VectorOfPairs) {
+  std::vector<std::pair<std::uint32_t, double>> v{{1, 1.5}, {2, 2.5}};
+  EXPECT_EQ(roundTrip(v), v);
+}
+
+TEST(Serde, SmallVec) {
+  SmallVec<double, 4> v{1.0, 2.0};
+  auto out = roundTrip(v);
+  EXPECT_EQ(out, v);
+  EXPECT_EQ(serdeSize(v), 4u + 2 * 8u);
+}
+
+TEST(Serde, SmallVecSpilled) {
+  SmallVec<double, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i * 0.5);
+  EXPECT_EQ(roundTrip(v), v);
+}
+
+TEST(Serde, String) {
+  EXPECT_EQ(roundTrip(std::string("hello world")), "hello world");
+  EXPECT_EQ(roundTrip(std::string()), "");
+  EXPECT_EQ(serdeSize(std::string("abc")), 7u);
+}
+
+TEST(Serde, Array) {
+  std::array<std::uint32_t, 3> a{7, 8, 9};
+  EXPECT_EQ(roundTrip(a), a);
+  EXPECT_EQ(serdeSize(a), 12u);
+}
+
+TEST(Serde, SequentialRecordsInOneBuffer) {
+  std::vector<std::uint8_t> buf;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    serdeWrite(buf, std::make_pair(i, static_cast<double>(i) * 0.5));
+  }
+  Reader r(buf.data(), buf.size());
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    auto p = serdeRead<std::pair<std::uint32_t, double>>(r);
+    EXPECT_EQ(p.first, i);
+    EXPECT_DOUBLE_EQ(p.second, i * 0.5);
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serde, ReaderRemaining) {
+  std::vector<std::uint8_t> buf;
+  serdeWrite(buf, std::uint64_t{1});
+  Reader r(buf.data(), buf.size());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)serdeRead<std::uint32_t>(r);
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_FALSE(r.exhausted());
+}
+
+}  // namespace
+}  // namespace cstf

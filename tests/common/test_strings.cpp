@@ -1,0 +1,46 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cstf {
+namespace {
+
+TEST(Strings, Strprintf) {
+  EXPECT_EQ(strprintf("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(strprintf("%s", ""), "");
+  EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+TEST(Strings, SplitFieldsBasic) {
+  const auto f = splitFields("1 2\t3", " \t");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "1");
+  EXPECT_EQ(f[2], "3");
+}
+
+TEST(Strings, SplitFieldsDropsEmpty) {
+  const auto f = splitFields("  a   b  ", " ");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(Strings, SplitFieldsEmptyInput) {
+  EXPECT_TRUE(splitFields("", " ").empty());
+  EXPECT_TRUE(splitFields("   ", " ").empty());
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(humanBytes(512), "512.00 B");
+  EXPECT_EQ(humanBytes(2048), "2.00 KB");
+  EXPECT_EQ(humanBytes(20.8 * 1024 * 1024 * 1024), "20.80 GB");
+}
+
+TEST(Strings, HumanSeconds) {
+  EXPECT_EQ(humanSeconds(1.5), "1.500 s");
+  EXPECT_EQ(humanSeconds(0.25), "250.0 ms");
+  EXPECT_EQ(humanSeconds(5e-5), "50.0 us");
+}
+
+}  // namespace
+}  // namespace cstf

@@ -1,0 +1,90 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace cstf {
+namespace {
+
+TEST(ThreadPool, RunsAllIndicesOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallelFor(1000, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroTasksIsNoop) {
+  ThreadPool pool(2);
+  pool.parallelFor(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, SingleTaskRunsInline) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallelFor(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallelFor(100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallelFor(4, [&](std::size_t) {
+    // Nested use happens when a downstream task materializes a shuffle.
+    pool.parallelFor(4, [&](std::size_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallelFor(100,
+                       [&](std::size_t i) {
+                         if (i == 57) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionDoesNotLoseOtherWork) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  try {
+    pool.parallelFor(64, [&](std::size_t i) {
+      if (i == 3) throw std::runtime_error("x");
+      ++done;
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(done.load(), 63);
+}
+
+TEST(ThreadPool, ManyRoundsReuseWorkers) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallelFor(20, [&](std::size_t i) { total += long(i); });
+  }
+  EXPECT_EQ(total.load(), 50 * (19 * 20 / 2));
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.threadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace cstf

@@ -1,0 +1,105 @@
+#include "cstf/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cstf::cstf_core {
+namespace {
+
+TEST(CostModel, Table4Row_Bigtensor) {
+  // BIGtensor: 5*nnz*R flops, max(J+nnz, K+nnz) intermediate, 4 shuffles.
+  const auto c =
+      analyticMttkrpCost(Backend::kBigtensor, 3, 1000, 2, 50, 80);
+  EXPECT_DOUBLE_EQ(c.flops, 5.0 * 1000 * 2);
+  EXPECT_DOUBLE_EQ(c.intermediateData, 80 + 1000);
+  EXPECT_EQ(c.shuffles, 4);
+}
+
+TEST(CostModel, Table4Row_Coo3Order) {
+  // CSTF-COO, 3rd order: 3*nnz*R flops, nnz*R intermediate, 3 shuffles.
+  const auto c = analyticMttkrpCost(Backend::kCoo, 3, 1000, 2);
+  EXPECT_DOUBLE_EQ(c.flops, 3.0 * 1000 * 2);
+  EXPECT_DOUBLE_EQ(c.intermediateData, 1000.0 * 2);
+  EXPECT_EQ(c.shuffles, 3);
+}
+
+TEST(CostModel, Table4Row_Qcoo3Order) {
+  // CSTF-QCOO, 3rd order: 3*nnz*R flops, 2*nnz*R intermediate, 2 shuffles.
+  const auto c = analyticMttkrpCost(Backend::kQcoo, 3, 1000, 2);
+  EXPECT_DOUBLE_EQ(c.flops, 3.0 * 1000 * 2);
+  EXPECT_DOUBLE_EQ(c.intermediateData, 2.0 * 1000 * 2);
+  EXPECT_EQ(c.shuffles, 2);
+}
+
+TEST(CostModel, CooGeneralizesToOrderN) {
+  for (ModeId n : {ModeId{4}, ModeId{5}}) {
+    const auto c = analyticMttkrpCost(Backend::kCoo, n, 100, 3);
+    EXPECT_EQ(c.shuffles, int(n));
+    EXPECT_DOUBLE_EQ(c.intermediateData, 300.0);
+  }
+}
+
+TEST(CostModel, QcooIntermediateGrowsWithOrder) {
+  // QCOO trades a larger queue payload ((N-1)*nnz*R) for fewer shuffles.
+  const auto c4 = analyticMttkrpCost(Backend::kQcoo, 4, 100, 2);
+  EXPECT_DOUBLE_EQ(c4.intermediateData, 3.0 * 200);
+  EXPECT_EQ(c4.shuffles, 2);
+}
+
+TEST(CostModel, BigtensorIsOrder3Only) {
+  EXPECT_THROW(analyticMttkrpCost(Backend::kBigtensor, 4, 10, 2), Error);
+  EXPECT_THROW(analyticCpIterationCost(Backend::kBigtensor, 4), Error);
+}
+
+TEST(CostModel, CpIterationShuffles) {
+  // Section 5: N^2 shuffles per iteration for COO, 2N for QCOO.
+  EXPECT_EQ(analyticCpIterationCost(Backend::kCoo, 3).shuffles, 9);
+  EXPECT_EQ(analyticCpIterationCost(Backend::kCoo, 4).shuffles, 16);
+  EXPECT_EQ(analyticCpIterationCost(Backend::kQcoo, 3).shuffles, 6);
+  EXPECT_EQ(analyticCpIterationCost(Backend::kQcoo, 4).shuffles, 8);
+  EXPECT_EQ(analyticCpIterationCost(Backend::kBigtensor, 3).shuffles, 12);
+}
+
+TEST(CostModel, CpIterationJoinVolume) {
+  // Section 5: N^2 * nnz * R for COO joins, N*(N-1) for QCOO.
+  EXPECT_DOUBLE_EQ(analyticCpIterationCost(Backend::kCoo, 3).joinCommUnits,
+                   9.0);
+  EXPECT_DOUBLE_EQ(analyticCpIterationCost(Backend::kQcoo, 3).joinCommUnits,
+                   6.0);
+  EXPECT_DOUBLE_EQ(analyticCpIterationCost(Backend::kQcoo, 5).joinCommUnits,
+                   20.0);
+}
+
+TEST(CostModel, PredictedSavingsMatchPaperSection5) {
+  // "for real world tensors of orders of 3, 4, or 5, CSTF-QCOO reduces
+  // communication costs up to 33%, 25%, and 20% respectively."
+  EXPECT_NEAR(predictedQcooSavings(3), 0.33, 0.004);
+  EXPECT_NEAR(predictedQcooSavings(4), 0.25, 1e-12);
+  EXPECT_NEAR(predictedQcooSavings(5), 0.20, 1e-12);
+}
+
+TEST(CostModel, SavingsConsistentWithJoinVolumes) {
+  for (ModeId n : {ModeId{3}, ModeId{4}, ModeId{5}}) {
+    const double coo = analyticCpIterationCost(Backend::kCoo, n).joinCommUnits;
+    const double qcoo =
+        analyticCpIterationCost(Backend::kQcoo, n).joinCommUnits;
+    EXPECT_NEAR(1.0 - qcoo / coo, predictedQcooSavings(n), 1e-12);
+  }
+}
+
+TEST(CostModel, ReferenceBackendHasNoShuffles) {
+  const auto c = analyticMttkrpCost(Backend::kReference, 3, 10, 2);
+  EXPECT_EQ(c.shuffles, 0);
+  EXPECT_DOUBLE_EQ(c.intermediateData, 0.0);
+}
+
+TEST(CostModel, BackendNames) {
+  EXPECT_STREQ(backendName(Backend::kCoo), "CSTF-COO");
+  EXPECT_STREQ(backendName(Backend::kQcoo), "CSTF-QCOO");
+  EXPECT_STREQ(backendName(Backend::kBigtensor), "BIGtensor");
+  EXPECT_EQ(backendFromName("qcoo"), Backend::kQcoo);
+  EXPECT_EQ(backendFromName("CSTF-COO"), Backend::kCoo);
+  EXPECT_THROW(backendFromName("nope"), Error);
+}
+
+}  // namespace
+}  // namespace cstf::cstf_core

@@ -1,0 +1,174 @@
+#include "cstf/cp_als.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparkle/sparkle.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/reference_ops.hpp"
+
+namespace cstf::cstf_core {
+namespace {
+
+sparkle::ClusterConfig testCluster() {
+  sparkle::ClusterConfig cfg;
+  cfg.numNodes = 4;
+  cfg.coresPerNode = 2;
+  return cfg;
+}
+
+CpAlsOptions baseOpts(Backend b, int iters = 8) {
+  CpAlsOptions o;
+  o.rank = 2;
+  o.maxIterations = iters;
+  o.backend = b;
+  o.seed = 7;
+  return o;
+}
+
+TEST(CpAls, ReferenceBackendRecoversLowRankTensor) {
+  sparkle::Context ctx(testCluster(), 2);
+  // Fully observed grid: exactly rank 2.
+  auto t = tensor::generateLowRank({12, 12, 10}, 2, 12 * 12 * 10, 5);
+  auto o = baseOpts(Backend::kReference, 80);
+  o.tolerance = 1e-10;
+  auto res = cpAls(ctx, t, o);
+  EXPECT_GT(res.finalFit, 0.99)
+      << "rank-2 ALS must fit a rank-2 tensor almost perfectly";
+}
+
+TEST(CpAls, FitMatchesDirectComputation) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{12, 14, 10}, 300, {}, 70});
+  auto res = cpAls(ctx, t, baseOpts(Backend::kCoo, 3));
+  const double direct = tensor::cpFit(t, res.factors, res.lambda);
+  EXPECT_NEAR(res.finalFit, direct, 1e-8)
+      << "the MTTKRP-based fit trick must equal the direct formula";
+}
+
+TEST(CpAls, AllBackendsProduceIdenticalFactors) {
+  // Same seed, same schedule: every distributed backend must walk the
+  // exact same ALS trajectory as the sequential reference.
+  auto t = tensor::generateRandom({{15, 12, 10}, 400, {}, 71});
+  CpAlsResult ref;
+  {
+    sparkle::Context ctx(testCluster(), 2);
+    ref = cpAls(ctx, t, baseOpts(Backend::kReference, 4));
+  }
+  for (Backend b : {Backend::kCoo, Backend::kQcoo, Backend::kBigtensor}) {
+    sparkle::Context ctx(testCluster(), 2);
+    auto res = cpAls(ctx, t, baseOpts(b, 4));
+    ASSERT_EQ(res.factors.size(), ref.factors.size());
+    for (std::size_t m = 0; m < ref.factors.size(); ++m) {
+      EXPECT_LT(res.factors[m].maxAbsDiff(ref.factors[m]), 1e-8)
+          << backendName(b) << " factor " << m;
+    }
+    for (std::size_t r = 0; r < ref.lambda.size(); ++r) {
+      EXPECT_NEAR(res.lambda[r], ref.lambda[r], 1e-8) << backendName(b);
+    }
+    EXPECT_NEAR(res.finalFit, ref.finalFit, 1e-8) << backendName(b);
+  }
+}
+
+TEST(CpAls, QcooMatchesReferenceOn4Order) {
+  auto t = tensor::generateRandom({{8, 10, 9, 6}, 300, {}, 72});
+  CpAlsResult ref;
+  {
+    sparkle::Context ctx(testCluster(), 2);
+    ref = cpAls(ctx, t, baseOpts(Backend::kReference, 3));
+  }
+  sparkle::Context ctx(testCluster(), 2);
+  auto res = cpAls(ctx, t, baseOpts(Backend::kQcoo, 3));
+  EXPECT_NEAR(res.finalFit, ref.finalFit, 1e-8);
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_LT(res.factors[m].maxAbsDiff(ref.factors[m]), 1e-8);
+  }
+}
+
+TEST(CpAls, FitIsNonDecreasing) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{15, 15, 15}, 500, {}, 73});
+  auto res = cpAls(ctx, t, baseOpts(Backend::kCoo, 6));
+  for (std::size_t i = 1; i < res.iterations.size(); ++i) {
+    EXPECT_GE(res.iterations[i].fit, res.iterations[i - 1].fit - 1e-9)
+        << "ALS fit must not decrease (iteration " << i << ")";
+  }
+}
+
+TEST(CpAls, ConvergesAndStopsEarly) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateLowRank({15, 15, 15}, 2, 800, 9);
+  auto o = baseOpts(Backend::kReference, 100);
+  o.tolerance = 1e-7;
+  auto res = cpAls(ctx, t, o);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.iterations.size(), 100u);
+}
+
+TEST(CpAls, BigtensorRejects4Order) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{5, 5, 5, 5}, 50, {}, 74});
+  EXPECT_THROW(cpAls(ctx, t, baseOpts(Backend::kBigtensor, 2)), Error);
+}
+
+TEST(CpAls, LambdaIsPositiveAndFactorsNormalized) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{10, 10, 10}, 300, {}, 75});
+  auto res = cpAls(ctx, t, baseOpts(Backend::kCoo, 3));
+  for (double l : res.lambda) EXPECT_GT(l, 0.0);
+  for (const auto& f : res.factors) {
+    for (std::size_t r = 0; r < f.cols(); ++r) {
+      double s = 0;
+      for (std::size_t i = 0; i < f.rows(); ++i) s += f(i, r) * f(i, r);
+      EXPECT_NEAR(s, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(CpAls, PerIterationStatsPopulated) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{10, 10, 10}, 200, {}, 76});
+  auto res = cpAls(ctx, t, baseOpts(Backend::kCoo, 3));
+  ASSERT_EQ(res.iterations.size(), 3u);
+  for (const auto& it : res.iterations) {
+    EXPECT_GT(it.simTimeSec, 0.0);
+    EXPECT_GT(it.wallTimeSec, 0.0);
+  }
+  EXPECT_GT(res.avgIterationSimTimeSec(), 0.0);
+}
+
+TEST(CpAls, ScopesCoverAllModes) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{10, 10, 10}, 200, {}, 77});
+  cpAls(ctx, t, baseOpts(Backend::kCoo, 2));
+  for (int mode = 1; mode <= 3; ++mode) {
+    const auto s = ctx.metrics().totalsForScope("MTTKRP-" +
+                                                std::to_string(mode));
+    EXPECT_GT(s.shuffleOps, 0u) << "mode " << mode;
+    EXPECT_GT(s.simTimeSec, 0.0) << "mode " << mode;
+  }
+}
+
+TEST(CpAls, HigherRankRuns) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{12, 12, 12}, 300, {}, 78});
+  auto o = baseOpts(Backend::kQcoo, 2);
+  o.rank = 8;  // beyond the SmallVec inline capacity
+  auto res = cpAls(ctx, t, o);
+  EXPECT_EQ(res.factors[0].cols(), 8u);
+  const double direct = tensor::cpFit(t, res.factors, res.lambda);
+  EXPECT_NEAR(res.finalFit, direct, 1e-8);
+}
+
+TEST(CpAls, RejectsBadOptions) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{5, 5, 5}, 20, {}, 79});
+  auto o = baseOpts(Backend::kCoo);
+  o.rank = 0;
+  EXPECT_THROW(cpAls(ctx, t, o), Error);
+  o = baseOpts(Backend::kCoo);
+  o.maxIterations = 0;
+  EXPECT_THROW(cpAls(ctx, t, o), Error);
+}
+
+}  // namespace
+}  // namespace cstf::cstf_core

@@ -1,0 +1,153 @@
+#include "cstf/dim_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cstf/cp_als.hpp"
+#include "cstf/factors.hpp"
+#include "la/normalize.hpp"
+#include "la/solve.hpp"
+#include "sparkle/sparkle.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/reference_ops.hpp"
+
+namespace cstf::cstf_core {
+namespace {
+
+/// Runs the naive mode-by-mode ALS sweep with the same update rule and
+/// returns the sequence of MTTKRP results, to compare against the tree.
+std::vector<la::Matrix> naiveSweep(const tensor::CooTensor& t,
+                                   std::vector<la::Matrix> factors) {
+  std::vector<la::Matrix> results;
+  for (ModeId n = 0; n < t.order(); ++n) {
+    la::Matrix m = tensor::referenceMttkrp(t, factors, n);
+    results.push_back(m);
+    factors[n] = std::move(m);  // stand-in ALS update (no solve needed for
+                                // the equivalence check, just a mutation)
+    la::normalizeColumns(factors[n]);
+  }
+  return results;
+}
+
+TEST(DimTree, SweepMatchesNaiveSequenceAcrossOrders) {
+  for (ModeId order : {ModeId{2}, ModeId{3}, ModeId{4}, ModeId{5},
+                       ModeId{6}, ModeId{7}}) {
+    std::vector<Index> dims;
+    for (ModeId m = 0; m < order; ++m) dims.push_back(8 + 3 * m);
+    auto t = tensor::generateRandom({dims, 250, {}, 700u + order});
+    auto factors = randomFactors(dims, 3, 7);
+
+    const auto expected = naiveSweep(t, factors);
+
+    auto treeFactors = factors;
+    std::vector<la::Matrix> got;
+    dimTreeSweep(t, treeFactors, [&](ModeId n, la::Matrix m) {
+      got.push_back(m);
+      treeFactors[n] = std::move(m);
+      la::normalizeColumns(treeFactors[n]);
+    });
+
+    ASSERT_EQ(got.size(), expected.size()) << "order " << int(order);
+    for (ModeId n = 0; n < order; ++n) {
+      EXPECT_LT(got[n].maxAbsDiff(expected[n]), 1e-9)
+          << "order " << int(order) << " mode " << int(n);
+    }
+  }
+}
+
+TEST(DimTree, CountsFewerFlopsThanNaiveForHighOrders) {
+  std::vector<Index> dims{8, 8, 8, 8, 8, 8};
+  auto t = tensor::generateRandom({dims, 300, {}, 701});
+  auto factors = randomFactors(dims, 2, 3);
+
+  std::uint64_t flops = 0;
+  auto f2 = factors;
+  dimTreeSweep(t, f2,
+               [&](ModeId n, la::Matrix m) { f2[n] = std::move(m); },
+               &flops);
+
+  // Naive: N MTTKRPs x N vector ops per nonzero x R.
+  const std::uint64_t naive = 6ull * 6ull * t.nnz() * 2ull;
+  EXPECT_LT(flops, naive);
+  // Analytic tree units for N=6: T(6)=6+T(3)+T(3)=6+2*(3+1+4)=22.
+  EXPECT_EQ(flops, 22ull * t.nnz() * 2ull);
+}
+
+TEST(DimTree, AnalyticCostMatchesRecurrence) {
+  EXPECT_DOUBLE_EQ(analyticDimTreeCost(1).treeUnits, 1.0);
+  EXPECT_DOUBLE_EQ(analyticDimTreeCost(2).treeUnits, 4.0);
+  EXPECT_DOUBLE_EQ(analyticDimTreeCost(3).treeUnits, 8.0);
+  EXPECT_DOUBLE_EQ(analyticDimTreeCost(4).treeUnits, 12.0);
+  EXPECT_DOUBLE_EQ(analyticDimTreeCost(8).treeUnits, 32.0);
+  EXPECT_DOUBLE_EQ(analyticDimTreeCost(4).naiveUnits, 16.0);
+  // Savings grow with order.
+  const double s4 = 1.0 - analyticDimTreeCost(4).treeUnits /
+                              analyticDimTreeCost(4).naiveUnits;
+  const double s8 = 1.0 - analyticDimTreeCost(8).treeUnits /
+                              analyticDimTreeCost(8).naiveUnits;
+  EXPECT_GT(s8, s4);
+  EXPECT_DOUBLE_EQ(s8, 0.5);
+}
+
+TEST(DimTree, MeasuredFlopsMatchAnalyticUnits) {
+  for (ModeId order : {ModeId{3}, ModeId{4}, ModeId{5}}) {
+    std::vector<Index> dims(order, 10);
+    auto t = tensor::generateRandom({dims, 200, {}, 702u + order});
+    auto fs = randomFactors(dims, 4, 1);
+    std::uint64_t flops = 0;
+    dimTreeSweep(t, fs, [&](ModeId n, la::Matrix m) { fs[n] = std::move(m); },
+                 &flops);
+    EXPECT_EQ(flops, std::uint64_t(analyticDimTreeCost(order).treeUnits) *
+                         t.nnz() * 4ull)
+        << "order " << int(order);
+  }
+}
+
+TEST(DimTree, CpAlsBackendWalksReferenceTrajectory) {
+  auto t = tensor::generateRandom({{10, 12, 9, 8}, 400, {}, 703});
+  sparkle::ClusterConfig cfg;
+  cfg.numNodes = 2;
+
+  CpAlsOptions o;
+  o.rank = 3;
+  o.maxIterations = 4;
+  o.seed = 11;
+
+  CpAlsResult ref;
+  {
+    sparkle::Context ctx(cfg, 2);
+    o.backend = Backend::kReference;
+    ref = cpAls(ctx, t, o);
+  }
+  sparkle::Context ctx(cfg, 2);
+  o.backend = Backend::kDimTree;
+  auto tree = cpAls(ctx, t, o);
+
+  EXPECT_NEAR(tree.finalFit, ref.finalFit, 1e-10);
+  for (ModeId m = 0; m < 4; ++m) {
+    EXPECT_LT(tree.factors[m].maxAbsDiff(ref.factors[m]), 1e-9);
+  }
+}
+
+TEST(DimTree, RejectsMalformedInputs) {
+  auto t = tensor::generateRandom({{5, 5, 5}, 20, {}, 704});
+  auto cb = [](ModeId, la::Matrix) {};
+  auto fs = randomFactors({5, 5, 5}, 2, 1);
+  fs.pop_back();
+  EXPECT_THROW(dimTreeSweep(t, fs, cb), Error);
+
+  auto fs2 = randomFactors({5, 5, 5}, 2, 1);
+  fs2[1] = la::Matrix(4, 2);  // wrong row count
+  EXPECT_THROW(dimTreeSweep(t, fs2, cb), Error);
+
+  auto fs3 = randomFactors({5, 5, 5}, 2, 1);
+  fs3[2] = la::Matrix(5, 3);  // rank mismatch
+  EXPECT_THROW(dimTreeSweep(t, fs3, cb), Error);
+}
+
+TEST(DimTree, BackendNameRegistered) {
+  EXPECT_STREQ(backendName(Backend::kDimTree), "dimension-tree");
+  EXPECT_EQ(backendFromName("dimtree"), Backend::kDimTree);
+}
+
+}  // namespace
+}  // namespace cstf::cstf_core

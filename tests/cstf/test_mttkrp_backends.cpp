@@ -1,0 +1,163 @@
+// Distributed MTTKRP backends vs the sequential oracle.
+#include <gtest/gtest.h>
+
+#include "cstf/cstf.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/reference_ops.hpp"
+
+namespace cstf::cstf_core {
+namespace {
+
+sparkle::ClusterConfig testCluster(int nodes = 4) {
+  sparkle::ClusterConfig cfg;
+  cfg.numNodes = nodes;
+  cfg.coresPerNode = 2;
+  return cfg;
+}
+
+std::vector<la::Matrix> factorsFor(const tensor::CooTensor& t,
+                                   std::size_t rank, std::uint64_t seed) {
+  return randomFactors(t.dims(), rank, seed);
+}
+
+TEST(MttkrpCoo, MatchesReferenceAllModes3Order) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{30, 40, 20}, 500, {}, 42});
+  auto fs = factorsFor(t, 2, 1);
+  auto X = tensorToRdd(ctx, t).cache();
+  for (ModeId mode = 0; mode < 3; ++mode) {
+    la::Matrix got = mttkrpCoo(ctx, X, t.dims(), fs, mode);
+    la::Matrix ref = tensor::referenceMttkrp(t, fs, mode);
+    EXPECT_LT(got.maxAbsDiff(ref), 1e-10) << "mode " << int(mode);
+  }
+}
+
+TEST(MttkrpCoo, MatchesReference4Order) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{15, 12, 18, 6}, 400, {}, 43});
+  auto fs = factorsFor(t, 3, 2);
+  auto X = tensorToRdd(ctx, t).cache();
+  for (ModeId mode = 0; mode < 4; ++mode) {
+    la::Matrix got = mttkrpCoo(ctx, X, t.dims(), fs, mode);
+    la::Matrix ref = tensor::referenceMttkrp(t, fs, mode);
+    EXPECT_LT(got.maxAbsDiff(ref), 1e-10) << "mode " << int(mode);
+  }
+}
+
+TEST(MttkrpCoo, Order2DegeneratesToSpMM) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{25, 35}, 200, {}, 44});
+  auto fs = factorsFor(t, 2, 3);
+  auto X = tensorToRdd(ctx, t);
+  for (ModeId mode = 0; mode < 2; ++mode) {
+    la::Matrix got = mttkrpCoo(ctx, X, t.dims(), fs, mode);
+    la::Matrix ref = tensor::referenceMttkrp(t, fs, mode);
+    EXPECT_LT(got.maxAbsDiff(ref), 1e-10);
+  }
+}
+
+TEST(MttkrpCoo, UsesNShuffleOpsForOrderN) {
+  for (ModeId order : {ModeId{3}, ModeId{4}}) {
+    sparkle::Context ctx(testCluster(), 2);
+    std::vector<Index> dims(order, 10);
+    auto t = tensor::generateRandom({dims, 100, {}, 45});
+    auto fs = factorsFor(t, 2, 4);
+    auto X = tensorToRdd(ctx, t);
+    mttkrpCoo(ctx, X, t.dims(), fs, 0);
+    EXPECT_EQ(ctx.metrics().totals().shuffleOps, std::size_t(order))
+        << "Table 4: CSTF-COO needs N shuffles";
+  }
+}
+
+TEST(MttkrpCoo, JoinOrderIsHighestFirst) {
+  const auto order = cooJoinOrder(3, 0);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // C first (Table 2)
+  EXPECT_EQ(order[1], 1);  // then B
+  const auto m2 = cooJoinOrder(4, 2);
+  ASSERT_EQ(m2.size(), 3u);
+  EXPECT_EQ(m2[0], 3);
+  EXPECT_EQ(m2[1], 1);
+  EXPECT_EQ(m2[2], 0);
+}
+
+TEST(MttkrpCoo, EmptySliceRowsAreZero) {
+  sparkle::Context ctx(testCluster(), 2);
+  // Row 5 of mode 0 has no nonzeros.
+  tensor::CooTensor t({8, 4, 4},
+                      {tensor::makeNonzero3(0, 1, 2, 1.0),
+                       tensor::makeNonzero3(7, 0, 0, 2.0)});
+  auto fs = factorsFor(t, 2, 5);
+  la::Matrix m = mttkrpCoo(ctx, tensorToRdd(ctx, t), t.dims(), fs, 0);
+  for (std::size_t r = 0; r < 2; ++r) EXPECT_DOUBLE_EQ(m(5, r), 0.0);
+}
+
+TEST(MttkrpBigtensor, MatchesReferenceAllModes) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{20, 25, 15}, 400, {}, 46});
+  auto fs = factorsFor(t, 2, 6);
+  auto X = tensorToRdd(ctx, t).cache();
+  for (ModeId mode = 0; mode < 3; ++mode) {
+    la::Matrix got = mttkrpBigtensor(ctx, X, t.dims(), fs, mode);
+    la::Matrix ref = tensor::referenceMttkrp(t, fs, mode);
+    EXPECT_LT(got.maxAbsDiff(ref), 1e-10) << "mode " << int(mode);
+  }
+}
+
+TEST(MttkrpBigtensor, UsesFourShuffleOps) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{10, 10, 10}, 100, {}, 47});
+  auto fs = factorsFor(t, 2, 7);
+  mttkrpBigtensor(ctx, tensorToRdd(ctx, t), t.dims(), fs, 0);
+  EXPECT_EQ(ctx.metrics().totals().shuffleOps, 4u)
+      << "Table 4: BIGtensor needs 4 shuffles";
+}
+
+TEST(MttkrpBigtensor, Rejects4OrderTensors) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{5, 5, 5, 5}, 50, {}, 48});
+  auto fs = factorsFor(t, 2, 8);
+  EXPECT_THROW(
+      mttkrpBigtensor(ctx, tensorToRdd(ctx, t), t.dims(), fs, 0), Error);
+}
+
+TEST(MttkrpBigtensor, WorksUnderHadoopMode) {
+  sparkle::ClusterConfig cfg = testCluster();
+  cfg.mode = sparkle::ExecutionMode::kHadoop;
+  sparkle::Context ctx(cfg, 2);
+  auto t = tensor::generateRandom({{12, 12, 12}, 200, {}, 49});
+  auto fs = factorsFor(t, 2, 9);
+  la::Matrix got =
+      mttkrpBigtensor(ctx, tensorToRdd(ctx, t), t.dims(), fs, 1);
+  EXPECT_LT(got.maxAbsDiff(tensor::referenceMttkrp(t, fs, 1)), 1e-10);
+}
+
+TEST(MttkrpAll, RankLargerThanInlineCapacity) {
+  // R=6 spills Row to the heap; results must be identical.
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{10, 12, 14}, 150, {}, 50});
+  auto fs = factorsFor(t, 6, 10);
+  auto X = tensorToRdd(ctx, t);
+  la::Matrix coo = mttkrpCoo(ctx, X, t.dims(), fs, 1);
+  la::Matrix big = mttkrpBigtensor(ctx, X, t.dims(), fs, 1);
+  la::Matrix ref = tensor::referenceMttkrp(t, fs, 1);
+  EXPECT_LT(coo.maxAbsDiff(ref), 1e-10);
+  EXPECT_LT(big.maxAbsDiff(ref), 1e-10);
+}
+
+TEST(MttkrpAll, MapSideCombineDoesNotChangeResult) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{10, 10, 10}, 300, {}, 51});
+  auto fs = factorsFor(t, 2, 11);
+  auto X = tensorToRdd(ctx, t);
+  MttkrpOptions withCombine;
+  withCombine.mapSideCombine = true;
+  MttkrpOptions without;
+  without.mapSideCombine = false;
+  la::Matrix a = mttkrpCoo(ctx, X, t.dims(), fs, 0, withCombine);
+  la::Matrix b = mttkrpCoo(ctx, X, t.dims(), fs, 0, without);
+  EXPECT_LT(a.maxAbsDiff(b), 1e-10);
+}
+
+}  // namespace
+}  // namespace cstf::cstf_core

@@ -1,0 +1,136 @@
+#include "la/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace cstf::la {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(3, 2, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 1.5);
+  m(1, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(Matrix, Identity) {
+  Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, RandomIsDeterministicPerSeed) {
+  Pcg32 a(5);
+  Pcg32 b(5);
+  EXPECT_EQ(Matrix::random(4, 3, a), Matrix::random(4, 3, b));
+}
+
+TEST(Matrix, RandomEntriesInUnitInterval) {
+  Pcg32 rng(5);
+  Matrix m = Matrix::random(50, 4, rng);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_GE(m(i, j), 0.0);
+      EXPECT_LT(m(i, j), 1.0);
+    }
+  }
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 5;
+  m(1, 1) = 7;
+  Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(1, 1), 7.0);
+}
+
+TEST(Matrix, MatmulAgainstHandComputed) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulIdentityIsNoop) {
+  Pcg32 rng(3);
+  Matrix m = Matrix::random(4, 4, rng);
+  EXPECT_LT(matmul(m, Matrix::identity(4)).maxAbsDiff(m), 1e-15);
+  EXPECT_LT(matmul(Matrix::identity(4), m).maxAbsDiff(m), 1e-15);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+TEST(Matrix, GramEqualsAtTimesA) {
+  Pcg32 rng(11);
+  Matrix a = Matrix::random(20, 4, rng);
+  Matrix g = gram(a);
+  Matrix ref = matmul(a.transpose(), a);
+  EXPECT_LT(g.maxAbsDiff(ref), 1e-12);
+}
+
+TEST(Matrix, GramIsSymmetric) {
+  Pcg32 rng(13);
+  Matrix g = gram(Matrix::random(30, 5, rng));
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+TEST(Matrix, Hadamard) {
+  Matrix a(2, 2, 3.0);
+  Matrix b(2, 2, 4.0);
+  Matrix h = hadamard(a, b);
+  EXPECT_DOUBLE_EQ(h(1, 1), 12.0);
+}
+
+TEST(Matrix, HadamardShapeMismatchThrows) {
+  EXPECT_THROW(hadamard(Matrix(2, 2), Matrix(2, 3)), Error);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix m(1, 2);
+  m(0, 0) = 3;
+  m(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.frobeniusNorm(), 5.0);
+}
+
+TEST(Matrix, PlusMinusScale) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+  a *= 5.0;
+  EXPECT_DOUBLE_EQ(a(1, 1), 5.0);
+}
+
+}  // namespace
+}  // namespace cstf::la

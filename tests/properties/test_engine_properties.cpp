@@ -1,0 +1,152 @@
+// Engine-level invariants swept over partition counts, node counts and
+// data sizes: shuffles must preserve multisets of records, byte accounting
+// must decompose exactly into remote + local, and results must be
+// independent of partitioning and cluster size.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "sparkle/sparkle.hpp"
+
+namespace cstf::sparkle {
+namespace {
+
+using KV = std::pair<std::uint32_t, double>;
+
+struct EngineCase {
+  int nodes;
+  std::size_t inputPartitions;
+  std::size_t shufflePartitions;
+  std::uint32_t records;
+};
+
+std::string engineCaseName(const testing::TestParamInfo<EngineCase>& info) {
+  const auto& c = info.param;
+  return "n" + std::to_string(c.nodes) + "_pin" +
+         std::to_string(c.inputPartitions) + "_pout" +
+         std::to_string(c.shufflePartitions) + "_r" +
+         std::to_string(c.records);
+}
+
+class EngineInvariants : public testing::TestWithParam<EngineCase> {
+ protected:
+  std::vector<KV> makeData() const {
+    std::vector<KV> v;
+    v.reserve(GetParam().records);
+    for (std::uint32_t i = 0; i < GetParam().records; ++i) {
+      v.push_back({i % 97, double(i)});
+    }
+    return v;
+  }
+
+  Context makeContext() const {
+    ClusterConfig cfg;
+    cfg.numNodes = GetParam().nodes;
+    cfg.coresPerNode = 2;
+    return Context(cfg, 2);
+  }
+};
+
+TEST_P(EngineInvariants, ShufflePreservesRecordMultiset) {
+  auto ctx = makeContext();
+  const auto data = makeData();
+  auto out = parallelize(ctx, data, GetParam().inputPartitions)
+                 .partitionBy(ctx.hashPartitioner(GetParam().shufflePartitions))
+                 .collect();
+  ASSERT_EQ(out.size(), data.size());
+  auto sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, sorted);
+}
+
+TEST_P(EngineInvariants, ShuffleGroupsKeysCompletely) {
+  auto ctx = makeContext();
+  auto rdd = parallelize(ctx, makeData(), GetParam().inputPartitions)
+                 .partitionBy(ctx.hashPartitioner(GetParam().shufflePartitions));
+  // Each key appears in exactly one partition.
+  auto keysPerPartition = rdd.mapPartitions(
+      [](const std::vector<KV>& part) {
+        std::vector<std::uint32_t> keys;
+        for (const auto& [k, v] : part) keys.push_back(k);
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        return keys;
+      });
+  auto allKeys = keysPerPartition.collect();
+  std::map<std::uint32_t, int> seen;
+  for (std::uint32_t k : allKeys) ++seen[k];
+  for (const auto& [k, n] : seen) {
+    EXPECT_EQ(n, 1) << "key " << k << " split across partitions";
+  }
+}
+
+TEST_P(EngineInvariants, ByteAccountingDecomposesExactly) {
+  auto ctx = makeContext();
+  parallelize(ctx, makeData(), GetParam().inputPartitions)
+      .partitionBy(ctx.hashPartitioner(GetParam().shufflePartitions))
+      .materialize();
+  std::uint64_t remote = 0;
+  std::uint64_t local = 0;
+  std::uint64_t records = 0;
+  for (const auto& s : ctx.metrics().stages()) {
+    remote += s.shuffleBytesRemote;
+    local += s.shuffleBytesLocal;
+    records += s.shuffleRecords;
+  }
+  EXPECT_EQ(records, GetParam().records);
+  const auto t = ctx.metrics().totals();
+  EXPECT_EQ(t.shuffleBytesRemote, remote);
+  EXPECT_EQ(t.shuffleBytesLocal, local);
+  std::uint64_t payload = 0;
+  for (const auto& kv : makeData()) payload += serdeSize(kv);
+  EXPECT_EQ(remote + local,
+            payload + records * ctx.config().recordEnvelopeBytes);
+}
+
+TEST_P(EngineInvariants, ReduceByKeyResultIndependentOfPartitioning) {
+  auto ctx = makeContext();
+  auto out = parallelize(ctx, makeData(), GetParam().inputPartitions)
+                 .reduceByKey(
+                     [](const double& a, const double& b) { return a + b; },
+                     ctx.hashPartitioner(GetParam().shufflePartitions))
+                 .collect();
+  std::map<std::uint32_t, double> got(out.begin(), out.end());
+  std::map<std::uint32_t, double> want;
+  for (const auto& [k, v] : makeData()) want[k] += v;
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [k, v] : want) EXPECT_NEAR(got[k], v, 1e-9) << k;
+}
+
+TEST_P(EngineInvariants, JoinResultIndependentOfClusterShape) {
+  auto ctx = makeContext();
+  std::vector<std::pair<std::uint32_t, int>> right;
+  for (std::uint32_t k = 0; k < 97; k += 2) right.push_back({k, int(k)});
+  auto out = parallelize(ctx, makeData(), GetParam().inputPartitions)
+                 .join(parallelize(ctx, right, 3),
+                       ctx.hashPartitioner(GetParam().shufflePartitions))
+                 .collect();
+  // Expected size: records with even key.
+  std::size_t expect = 0;
+  for (const auto& [k, v] : makeData()) {
+    if (k % 2 == 0) ++expect;
+  }
+  EXPECT_EQ(out.size(), expect);
+  for (const auto& [k, vw] : out) EXPECT_EQ(vw.second, int(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineInvariants,
+    testing::Values(EngineCase{1, 4, 4, 500},
+                    EngineCase{2, 3, 7, 501},
+                    EngineCase{4, 8, 8, 1000},
+                    EngineCase{4, 1, 16, 700},
+                    EngineCase{8, 16, 4, 2000},
+                    EngineCase{16, 32, 32, 3000},
+                    EngineCase{32, 64, 64, 5000},
+                    EngineCase{3, 5, 11, 997}),
+    engineCaseName);
+
+}  // namespace
+}  // namespace cstf::sparkle

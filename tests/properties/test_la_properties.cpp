@@ -1,0 +1,126 @@
+// Linear-algebra property sweeps: the identities CP-ALS leans on, over
+// random matrices of varying shape and conditioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+#include "la/normalize.hpp"
+#include "la/solve.hpp"
+
+namespace cstf::la {
+namespace {
+
+struct LaCase {
+  std::size_t rows;
+  std::size_t cols;
+  std::uint64_t seed;
+  double ridge;  // diagonal boost: 0 = possibly ill-conditioned
+};
+
+class LaSweep : public testing::TestWithParam<LaCase> {
+ protected:
+  Matrix randomMatrix() const {
+    Pcg32 rng(GetParam().seed);
+    return Matrix::random(GetParam().rows, GetParam().cols, rng);
+  }
+
+  Matrix spd() const {
+    Matrix g = gram(randomMatrix());
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      g(i, i) += GetParam().ridge;
+    }
+    return g;
+  }
+};
+
+TEST_P(LaSweep, GramMatchesDefinition) {
+  Matrix a = randomMatrix();
+  EXPECT_LT(gram(a).maxAbsDiff(matmul(a.transpose(), a)), 1e-10);
+}
+
+TEST_P(LaSweep, TransposeIsInvolution) {
+  Matrix a = randomMatrix();
+  EXPECT_LT(a.transpose().transpose().maxAbsDiff(a), 1e-15);
+}
+
+TEST_P(LaSweep, JacobiReconstructs) {
+  Matrix g = spd();
+  const EigenSym e = jacobiEigenSym(g);
+  Matrix d(g.rows(), g.rows());
+  for (std::size_t i = 0; i < g.rows(); ++i) d(i, i) = e.values[i];
+  Matrix rec = matmul(matmul(e.vectors, d), e.vectors.transpose());
+  EXPECT_LT(rec.maxAbsDiff(g), 1e-8 * std::max(1.0, g.frobeniusNorm()));
+}
+
+TEST_P(LaSweep, EigenvaluesOfSpsdAreNonnegative) {
+  const EigenSym e = jacobiEigenSym(spd());
+  for (double w : e.values) EXPECT_GT(w, -1e-9);
+}
+
+TEST_P(LaSweep, PinvSatisfiesMoorePenrose) {
+  Matrix g = spd();
+  Matrix p = pinvSym(g);
+  EXPECT_LT(matmul(matmul(g, p), g).maxAbsDiff(g),
+            1e-7 * std::max(1.0, g.frobeniusNorm()));
+  EXPECT_LT(matmul(matmul(p, g), p).maxAbsDiff(p),
+            1e-7 * std::max(1.0, p.frobeniusNorm()));
+  // A A^+ symmetric.
+  Matrix ap = matmul(g, p);
+  EXPECT_LT(ap.maxAbsDiff(ap.transpose()), 1e-8);
+}
+
+TEST_P(LaSweep, CholeskySolvesWhenWellConditioned) {
+  if (GetParam().ridge <= 0.0) GTEST_SKIP() << "needs SPD guarantee";
+  Matrix g = spd();
+  auto l = cholesky(g);
+  ASSERT_TRUE(l.has_value());
+  Pcg32 rng(GetParam().seed + 9);
+  std::vector<double> x(g.rows());
+  for (double& v : x) v = rng.nextDouble(-1, 1);
+  std::vector<double> b(g.rows(), 0.0);
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    for (std::size_t j = 0; j < g.rows(); ++j) b[i] += g(i, j) * x[j];
+  }
+  const auto got = choleskySolve(*l, b);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(got[i], x[i], 1e-6);
+}
+
+TEST_P(LaSweep, NormalizationPreservesProduct) {
+  Matrix a = randomMatrix();
+  Matrix orig = a;
+  const auto norms = normalizeColumns(a);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(a(i, j) * norms[j], orig(i, j), 1e-12);
+    }
+  }
+}
+
+TEST_P(LaSweep, KhatriRaoGramIdentity) {
+  // gram(A (.) B) == gram(A) .* gram(B) — the identity that lets CP-ALS
+  // form V from the factor grams without building the Khatri-Rao product.
+  Pcg32 rng(GetParam().seed + 5);
+  Matrix a = Matrix::random(GetParam().rows, GetParam().cols, rng);
+  Matrix b = Matrix::random(GetParam().rows / 2 + 1, GetParam().cols, rng);
+  Matrix lhs = gram(khatriRao(a, b));
+  Matrix rhs = hadamard(gram(a), gram(b));
+  EXPECT_LT(lhs.maxAbsDiff(rhs), 1e-9 * std::max(1.0, rhs.frobeniusNorm()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LaSweep,
+    testing::Values(LaCase{8, 1, 1, 0.1}, LaCase{16, 2, 2, 0.1},
+                    LaCase{32, 2, 3, 0.0}, LaCase{50, 4, 4, 0.5},
+                    LaCase{12, 8, 5, 0.1}, LaCase{100, 3, 6, 0.0},
+                    LaCase{9, 9, 7, 1.0}, LaCase{64, 16, 8, 0.2}),
+    [](const testing::TestParamInfo<LaCase>& info) {
+      const auto& c = info.param;
+      return std::to_string(c.rows) + "x" + std::to_string(c.cols) + "_s" +
+             std::to_string(c.seed) +
+             (c.ridge > 0 ? "_ridged" : "_raw");
+    });
+
+}  // namespace
+}  // namespace cstf::la

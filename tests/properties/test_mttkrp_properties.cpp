@@ -1,0 +1,142 @@
+// Property sweeps: every distributed MTTKRP backend must agree with the
+// sequential oracle (and with the unfolding-based textbook definition)
+// across tensor orders, shapes, ranks, skews, partition counts and modes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cstf/cstf.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/reference_ops.hpp"
+
+namespace cstf::cstf_core {
+namespace {
+
+struct MttkrpCase {
+  std::vector<Index> dims;
+  std::size_t nnz;
+  std::size_t rank;
+  double skew;  // applied to every mode (0 = uniform)
+  std::size_t partitions;
+  std::uint64_t seed;
+};
+
+std::string caseName(const testing::TestParamInfo<MttkrpCase>& info) {
+  const auto& c = info.param;
+  std::string name = "order" + std::to_string(c.dims.size()) + "_nnz" +
+                     std::to_string(c.nnz) + "_r" + std::to_string(c.rank) +
+                     "_p" + std::to_string(c.partitions) + "_s" +
+                     std::to_string(c.seed);
+  if (c.skew > 0) name += "_zipf";
+  return name;
+}
+
+class MttkrpAgreement : public testing::TestWithParam<MttkrpCase> {
+ protected:
+  tensor::CooTensor makeTensor() const {
+    const auto& c = GetParam();
+    tensor::GeneratorOptions o;
+    o.dims = c.dims;
+    o.nnz = c.nnz;
+    o.seed = c.seed;
+    if (c.skew > 0) o.zipfSkew.assign(c.dims.size(), c.skew);
+    return tensor::generateRandom(o);
+  }
+};
+
+TEST_P(MttkrpAgreement, CooMatchesReferenceEveryMode) {
+  const auto& c = GetParam();
+  sparkle::ClusterConfig cfg;
+  cfg.numNodes = 4;
+  sparkle::Context ctx(cfg, 2, c.partitions);
+  auto t = makeTensor();
+  auto fs = randomFactors(t.dims(), c.rank, c.seed + 1);
+  auto X = tensorToRdd(ctx, t).cache();
+  MttkrpOptions opts;
+  opts.numPartitions = c.partitions;
+  for (ModeId mode = 0; mode < t.order(); ++mode) {
+    la::Matrix got = mttkrpCoo(ctx, X, t.dims(), fs, mode, opts);
+    la::Matrix ref = tensor::referenceMttkrp(t, fs, mode);
+    ASSERT_LT(got.maxAbsDiff(ref), 1e-9)
+        << "mode " << int(mode) << " diverged";
+  }
+}
+
+TEST_P(MttkrpAgreement, QcooFullSweepMatchesReference) {
+  const auto& c = GetParam();
+  sparkle::ClusterConfig cfg;
+  cfg.numNodes = 4;
+  sparkle::Context ctx(cfg, 2, c.partitions);
+  auto t = makeTensor();
+  auto fs = randomFactors(t.dims(), c.rank, c.seed + 2);
+  auto X = tensorToRdd(ctx, t).cache();
+  MttkrpOptions opts;
+  opts.numPartitions = c.partitions;
+  QcooEngine engine(ctx, X, t.dims(), fs, opts);
+  for (ModeId mode = 0; mode < t.order(); ++mode) {
+    la::Matrix got = engine.mttkrpNext(fs);
+    ASSERT_LT(got.maxAbsDiff(tensor::referenceMttkrp(t, fs, mode)), 1e-9)
+        << "mode " << int(mode) << " diverged";
+  }
+}
+
+TEST_P(MttkrpAgreement, BigtensorMatchesReference3OrderOnly) {
+  const auto& c = GetParam();
+  if (c.dims.size() != 3) GTEST_SKIP() << "BIGtensor supports order 3 only";
+  sparkle::ClusterConfig cfg;
+  cfg.numNodes = 4;
+  sparkle::Context ctx(cfg, 2, c.partitions);
+  auto t = makeTensor();
+  auto fs = randomFactors(t.dims(), c.rank, c.seed + 3);
+  auto X = tensorToRdd(ctx, t).cache();
+  MttkrpOptions opts;
+  opts.numPartitions = c.partitions;
+  for (ModeId mode = 0; mode < 3; ++mode) {
+    la::Matrix got = mttkrpBigtensor(ctx, X, t.dims(), fs, mode, opts);
+    ASSERT_LT(got.maxAbsDiff(tensor::referenceMttkrp(t, fs, mode)), 1e-9);
+  }
+}
+
+TEST_P(MttkrpAgreement, ReferenceMatchesUnfoldingDefinition) {
+  const auto& c = GetParam();
+  // Guard the exponential Khatri-Rao memory.
+  double cells = 1.0;
+  for (Index d : c.dims) cells *= d;
+  if (cells > 2e6) GTEST_SKIP() << "unfolding oracle too large";
+  auto t = makeTensor();
+  auto fs = randomFactors(t.dims(), c.rank, c.seed + 4);
+  for (ModeId mode = 0; mode < t.order(); ++mode) {
+    la::Matrix fast = tensor::referenceMttkrp(t, fs, mode);
+    la::Matrix slow = tensor::mttkrpViaUnfolding(t, fs, mode);
+    ASSERT_LT(fast.maxAbsDiff(slow), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MttkrpAgreement,
+    testing::Values(
+        // 3-order, varying size/rank/partitions
+        MttkrpCase{{20, 30, 25}, 300, 1, 0.0, 8, 100},
+        MttkrpCase{{20, 30, 25}, 300, 2, 0.0, 8, 101},
+        MttkrpCase{{40, 10, 60}, 600, 4, 0.0, 16, 102},
+        MttkrpCase{{100, 100, 100}, 1000, 2, 0.0, 32, 103},
+        MttkrpCase{{7, 7, 7}, 120, 3, 0.0, 4, 104},
+        // single partition: degenerate but legal
+        MttkrpCase{{15, 15, 15}, 200, 2, 0.0, 1, 105},
+        // skewed (delicious/nell-like) index distributions
+        MttkrpCase{{50, 60, 40}, 800, 2, 1.1, 8, 106},
+        MttkrpCase{{200, 30, 30}, 700, 3, 0.9, 8, 107},
+        // "oddly shaped" tensors (paper remarks on delicious)
+        MttkrpCase{{500, 5, 5}, 400, 2, 0.0, 8, 108},
+        MttkrpCase{{3, 400, 3}, 300, 2, 0.0, 8, 109},
+        // 4-order
+        MttkrpCase{{12, 10, 8, 6}, 400, 2, 0.0, 8, 110},
+        MttkrpCase{{12, 10, 8, 6}, 400, 5, 0.7, 16, 111},
+        // 5-order (paper section 5 analyzes N=5)
+        MttkrpCase{{8, 7, 6, 5, 4}, 300, 2, 0.0, 8, 112},
+        // order 2 (matrix) edge
+        MttkrpCase{{30, 40}, 250, 2, 0.0, 8, 113}),
+    caseName);
+
+}  // namespace
+}  // namespace cstf::cstf_core

@@ -1,0 +1,127 @@
+// take/first/countByKey/groupByKey, lineage debug strings, and CSV metrics
+// export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "sparkle/sparkle.hpp"
+
+namespace cstf::sparkle {
+namespace {
+
+using KV = std::pair<std::uint32_t, double>;
+
+Context makeCtx() {
+  ClusterConfig cfg;
+  cfg.numNodes = 4;
+  cfg.coresPerNode = 2;
+  return Context(cfg, 2);
+}
+
+TEST(ApiExtras, TakeReturnsPrefix) {
+  auto ctx = makeCtx();
+  std::vector<int> data{10, 11, 12, 13, 14};
+  auto rdd = parallelize(ctx, data, 3);
+  EXPECT_EQ(rdd.take(2), (std::vector<int>{10, 11}));
+  EXPECT_EQ(rdd.take(99), data);
+  EXPECT_EQ(rdd.first(), 10);
+}
+
+TEST(ApiExtras, FirstOnEmptyThrows) {
+  auto ctx = makeCtx();
+  auto rdd = parallelize(ctx, std::vector<int>{}, 2);
+  EXPECT_THROW(rdd.first(), Error);
+}
+
+TEST(ApiExtras, CountByKey) {
+  auto ctx = makeCtx();
+  std::vector<KV> data;
+  for (std::uint32_t i = 0; i < 60; ++i) data.push_back({i % 3, 1.0});
+  auto counts = parallelize(ctx, data, 4).countByKey();
+  std::map<std::uint32_t, std::uint64_t> m(counts.begin(), counts.end());
+  ASSERT_EQ(m.size(), 3u);
+  for (const auto& [k, n] : m) EXPECT_EQ(n, 20u) << k;
+}
+
+TEST(ApiExtras, GroupByKeyCollectsAllValues) {
+  auto ctx = makeCtx();
+  std::vector<KV> data{{1, 1.0}, {2, 2.0}, {1, 3.0}, {1, 4.0}};
+  auto grouped = parallelize(ctx, data, 3).groupByKey().collect();
+  std::map<std::uint32_t, std::vector<double>> m;
+  for (auto& [k, vs] : grouped) {
+    std::sort(vs.begin(), vs.end());
+    m[k] = vs;
+  }
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[1], (std::vector<double>{1.0, 3.0, 4.0}));
+  EXPECT_EQ(m[2], (std::vector<double>{2.0}));
+}
+
+TEST(ApiExtras, GroupByKeyUsesOneShuffle) {
+  auto ctx = makeCtx();
+  std::vector<KV> data{{1, 1.0}, {2, 2.0}};
+  parallelize(ctx, data, 2).groupByKey().materialize();
+  EXPECT_EQ(ctx.metrics().totals().shuffleOps, 1u);
+}
+
+TEST(ApiExtras, DebugStringShowsLineage) {
+  auto ctx = makeCtx();
+  std::vector<KV> data{{1, 1.0}};
+  auto rdd = parallelize(ctx, data, 2)
+                 .mapValues([](const double& v) { return v; })
+                 .partitionBy(ctx.hashPartitioner(4))
+                 .filter([](const KV&) { return true; });
+  const std::string s = rdd.toDebugString();
+  EXPECT_NE(s.find("filter"), std::string::npos);
+  EXPECT_NE(s.find("shuffle:partitionBy"), std::string::npos);
+  EXPECT_NE(s.find("mapValues"), std::string::npos);
+  EXPECT_NE(s.find("parallelize"), std::string::npos);
+  // Lineage depth: filter at 0, shuffle at 1, mapValues at 2, source at 3.
+  EXPECT_NE(s.find("      (2) parallelize"), std::string::npos) << s;
+}
+
+TEST(ApiExtras, DebugStringShowsBothJoinSides) {
+  auto ctx = makeCtx();
+  std::vector<KV> a{{1, 1.0}};
+  std::vector<std::pair<std::uint32_t, int>> b{{1, 2}};
+  auto joined = parallelize(ctx, a, 2).join(parallelize(ctx, b, 2));
+  const std::string s = joined.toDebugString();
+  EXPECT_NE(s.find("join"), std::string::npos);
+  EXPECT_NE(s.find("shuffle:join:left"), std::string::npos);
+  EXPECT_NE(s.find("shuffle:join:right"), std::string::npos);
+}
+
+TEST(ApiExtras, MetricsCsvHasHeaderAndRows) {
+  auto ctx = makeCtx();
+  std::vector<KV> data{{1, 1.0}, {2, 2.0}};
+  {
+    ScopedStage scope(ctx.metrics(), "MTTKRP-1");
+    parallelize(ctx, data, 2)
+        .partitionBy(ctx.hashPartitioner(2))
+        .materialize();
+  }
+  const std::string csv = ctx.metrics().toCsv();
+  std::istringstream in(csv);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("stage_id"), std::string::npos);
+  EXPECT_NE(header.find("shuffle_bytes_remote"), std::string::npos);
+
+  std::size_t rows = 0;
+  std::size_t scoped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++rows;
+    if (line.find("MTTKRP-1") != std::string::npos) ++scoped;
+  }
+  EXPECT_EQ(rows, ctx.metrics().stages().size());
+  EXPECT_GE(scoped, 1u);
+  // Column count is stable: 13 commas per row.
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','), 13);
+}
+
+}  // namespace
+}  // namespace cstf::sparkle

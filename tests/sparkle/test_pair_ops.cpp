@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sparkle/sparkle.hpp"
+
+namespace cstf::sparkle {
+namespace {
+
+using KV = std::pair<std::uint32_t, double>;
+
+Context makeCtx() {
+  ClusterConfig cfg;
+  cfg.numNodes = 4;
+  cfg.coresPerNode = 2;
+  return Context(cfg, 2);
+}
+
+TEST(PairOps, MapValuesKeepsKeys) {
+  auto ctx = makeCtx();
+  std::vector<KV> data{{1, 1.0}, {2, 2.0}, {3, 3.0}};
+  auto out = parallelize(ctx, data, 2)
+                 .mapValues([](const double& v) { return v * 10.0; })
+                 .collect();
+  std::map<std::uint32_t, double> m(out.begin(), out.end());
+  EXPECT_DOUBLE_EQ(m[2], 20.0);
+}
+
+TEST(PairOps, ReduceByKeyAggregates) {
+  auto ctx = makeCtx();
+  std::vector<KV> data;
+  for (std::uint32_t k = 0; k < 10; ++k) {
+    for (int r = 0; r < 5; ++r) data.push_back({k, 1.0});
+  }
+  auto out = parallelize(ctx, data, 4)
+                 .reduceByKey([](const double& a, const double& b) {
+                   return a + b;
+                 })
+                 .collect();
+  ASSERT_EQ(out.size(), 10u);
+  for (const auto& [k, v] : out) EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(PairOps, ReduceByKeyWithoutCombineMatches) {
+  auto ctx = makeCtx();
+  std::vector<KV> data;
+  for (std::uint32_t k = 0; k < 7; ++k) {
+    for (int r = 0; r <= int(k); ++r) data.push_back({k, double(r)});
+  }
+  auto sum = [](const double& a, const double& b) { return a + b; };
+  auto combined = parallelize(ctx, data, 4)
+                      .reduceByKey(sum, nullptr, /*mapSideCombine=*/true)
+                      .collect();
+  auto plain = parallelize(ctx, data, 4)
+                   .reduceByKey(sum, nullptr, /*mapSideCombine=*/false)
+                   .collect();
+  std::map<std::uint32_t, double> a(combined.begin(), combined.end());
+  std::map<std::uint32_t, double> b(plain.begin(), plain.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(PairOps, MapSideCombineShufflesFewerRecords) {
+  auto ctx = makeCtx();
+  std::vector<KV> data;
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    for (int r = 0; r < 100; ++r) data.push_back({k, 1.0});
+  }
+  auto sum = [](const double& a, const double& b) { return a + b; };
+
+  parallelize(ctx, data, 4).reduceByKey(sum, nullptr, true).materialize();
+  const auto withCombine = ctx.metrics().totals();
+  ctx.metrics().reset();
+  parallelize(ctx, data, 4).reduceByKey(sum, nullptr, false).materialize();
+  const auto without = ctx.metrics().totals();
+
+  EXPECT_LT(withCombine.shuffleRecords, without.shuffleRecords);
+  EXPECT_EQ(without.shuffleRecords, 400u);
+  // Per partition at most 4 distinct keys survive the combiner.
+  EXPECT_LE(withCombine.shuffleRecords, 16u);
+}
+
+TEST(PairOps, JoinMatchesKeys) {
+  auto ctx = makeCtx();
+  std::vector<KV> left{{1, 10.0}, {2, 20.0}, {3, 30.0}};
+  std::vector<std::pair<std::uint32_t, int>> right{{2, 200}, {3, 300},
+                                                   {4, 400}};
+  auto out = parallelize(ctx, left, 2)
+                 .join(parallelize(ctx, right, 3))
+                 .collect();
+  ASSERT_EQ(out.size(), 2u);
+  std::map<std::uint32_t, std::pair<double, int>> m;
+  for (const auto& [k, vw] : out) m[k] = vw;
+  EXPECT_DOUBLE_EQ(m[2].first, 20.0);
+  EXPECT_EQ(m[2].second, 200);
+  EXPECT_EQ(m[3].second, 300);
+}
+
+TEST(PairOps, JoinIsInner) {
+  auto ctx = makeCtx();
+  std::vector<KV> left{{1, 1.0}};
+  std::vector<KV> right{{2, 2.0}};
+  EXPECT_TRUE(parallelize(ctx, left, 2)
+                  .join(parallelize(ctx, right, 2))
+                  .collect()
+                  .empty());
+}
+
+TEST(PairOps, JoinProducesCrossProductPerKey) {
+  auto ctx = makeCtx();
+  std::vector<KV> left{{5, 1.0}, {5, 2.0}};
+  std::vector<std::pair<std::uint32_t, int>> right{{5, 7}, {5, 8}, {5, 9}};
+  auto out = parallelize(ctx, left, 2)
+                 .join(parallelize(ctx, right, 2))
+                 .collect();
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(PairOps, JoinCountsOneShuffleOpTwoStages) {
+  auto ctx = makeCtx();
+  std::vector<KV> left{{1, 1.0}, {2, 2.0}};
+  std::vector<KV> right{{1, 3.0}, {2, 4.0}};
+  parallelize(ctx, left, 2).join(parallelize(ctx, right, 2)).materialize();
+  const auto t = ctx.metrics().totals();
+  EXPECT_EQ(t.shuffleOps, 1u);  // one logical join
+  std::size_t shuffleStages = 0;
+  for (const auto& s : ctx.metrics().stages()) {
+    if (s.kind == StageKind::kShuffle) ++shuffleStages;
+  }
+  EXPECT_EQ(shuffleStages, 2u);  // both sides moved
+}
+
+TEST(PairOps, JoinSkipsShuffleForCoPartitionedSide) {
+  auto ctx = makeCtx();
+  std::vector<KV> left{{1, 1.0}, {2, 2.0}, {3, 3.0}};
+  std::vector<KV> right{{1, 9.0}, {3, 9.0}};
+  auto part = ctx.hashPartitioner(8);
+  auto leftPart = parallelize(ctx, left, 2).partitionBy(part);
+  leftPart.materialize();
+  ctx.metrics().reset();
+
+  leftPart.join(parallelize(ctx, right, 2), part).materialize();
+  std::size_t shuffleStages = 0;
+  for (const auto& s : ctx.metrics().stages()) {
+    if (s.kind == StageKind::kShuffle) ++shuffleStages;
+  }
+  EXPECT_EQ(shuffleStages, 1u);  // only the right side moved
+}
+
+TEST(PairOps, PartitionByGroupsKeys) {
+  auto ctx = makeCtx();
+  std::vector<KV> data;
+  for (std::uint32_t k = 0; k < 64; ++k) data.push_back({k, double(k)});
+  auto part = ctx.hashPartitioner(8);
+  auto rdd = parallelize(ctx, data, 4).partitionBy(part);
+  // All records with one key land in the partition the partitioner names.
+  auto perPartition = rdd.mapPartitions(
+      [](const std::vector<KV>& p) { return std::vector<std::size_t>{p.size()}; });
+  EXPECT_EQ(rdd.count(), 64u);
+  EXPECT_EQ(perPartition.collect().size(), 8u);
+}
+
+TEST(PairOps, PartitionByTwiceIsOneShuffle) {
+  auto ctx = makeCtx();
+  std::vector<KV> data{{1, 1.0}, {2, 2.0}};
+  auto part = ctx.hashPartitioner(4);
+  auto rdd = parallelize(ctx, data, 2).partitionBy(part).partitionBy(part);
+  rdd.materialize();
+  EXPECT_EQ(ctx.metrics().totals().shuffleOps, 1u);
+}
+
+TEST(PairOps, ReduceByKeyAfterPartitionByIsNarrow) {
+  auto ctx = makeCtx();
+  std::vector<KV> data;
+  for (std::uint32_t k = 0; k < 8; ++k) {
+    data.push_back({k, 1.0});
+    data.push_back({k, 2.0});
+  }
+  auto part = ctx.hashPartitioner(4);
+  auto pre = parallelize(ctx, data, 4).partitionBy(part);
+  pre.materialize();
+  ctx.metrics().reset();
+
+  auto out = pre.reduceByKey(
+      [](const double& a, const double& b) { return a + b; }, part);
+  EXPECT_EQ(out.collect().size(), 8u);
+  // Spark semantics: already co-partitioned, no second shuffle.
+  EXPECT_EQ(ctx.metrics().totals().shuffleOps, 0u);
+}
+
+TEST(PairOps, MapValuesPreservesPartitioningMapDoesNot) {
+  auto ctx = makeCtx();
+  std::vector<KV> data{{1, 1.0}, {2, 2.0}};
+  auto part = ctx.hashPartitioner(4);
+  auto rdd = parallelize(ctx, data, 2).partitionBy(part);
+  auto mv = rdd.mapValues([](const double& v) { return v + 1.0; });
+  EXPECT_EQ(mv.partitioning(), part);
+  auto plain = rdd.map([](const KV& kv) { return kv; });
+  EXPECT_EQ(plain.partitioning(), nullptr);
+}
+
+}  // namespace
+}  // namespace cstf::sparkle

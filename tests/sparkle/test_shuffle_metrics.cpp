@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/serde.hpp"
+#include "sparkle/sparkle.hpp"
+
+namespace cstf::sparkle {
+namespace {
+
+using KV = std::pair<std::uint32_t, double>;
+
+ClusterConfig cfgNodes(int nodes) {
+  ClusterConfig cfg;
+  cfg.numNodes = nodes;
+  cfg.coresPerNode = 2;
+  return cfg;
+}
+
+std::vector<KV> makeData(std::uint32_t n) {
+  std::vector<KV> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back({i, double(i)});
+  return v;
+}
+
+TEST(ShuffleMetrics, TotalBytesMatchSerializedSizePlusEnvelope) {
+  Context ctx(cfgNodes(4), 2);
+  const auto data = makeData(500);
+  std::uint64_t payload = 0;
+  for (const auto& kv : data) payload += serdeSize(kv);
+
+  parallelize(ctx, data, 8).partitionBy(ctx.hashPartitioner(8)).materialize();
+  const auto t = ctx.metrics().totals();
+  EXPECT_EQ(t.shuffleRecords, 500u);
+  EXPECT_EQ(t.shuffleBytesRemote + t.shuffleBytesLocal,
+            payload + 500 * ctx.config().recordEnvelopeBytes);
+}
+
+TEST(ShuffleMetrics, SingleNodeClusterHasNoRemoteBytes) {
+  Context ctx(cfgNodes(1), 2);
+  parallelize(ctx, makeData(200), 4)
+      .partitionBy(ctx.hashPartitioner(4))
+      .materialize();
+  const auto t = ctx.metrics().totals();
+  EXPECT_EQ(t.shuffleBytesRemote, 0u);
+  EXPECT_GT(t.shuffleBytesLocal, 0u);
+}
+
+TEST(ShuffleMetrics, RemoteFractionGrowsWithNodes) {
+  // With round-robin placement and hash partitioning, the expected remote
+  // fraction is (n-1)/n — the reason QCOO's savings matter more on bigger
+  // clusters (paper §6.4).
+  double prevFraction = 0.0;
+  for (int nodes : {2, 4, 8, 16}) {
+    Context ctx(cfgNodes(nodes), 2);
+    parallelize(ctx, makeData(2000), 32)
+        .partitionBy(ctx.hashPartitioner(32))
+        .materialize();
+    const auto t = ctx.metrics().totals();
+    const double fraction =
+        double(t.shuffleBytesRemote) /
+        double(t.shuffleBytesRemote + t.shuffleBytesLocal);
+    EXPECT_NEAR(fraction, double(nodes - 1) / nodes, 0.1);
+    EXPECT_GT(fraction, prevFraction);
+    prevFraction = fraction;
+  }
+}
+
+TEST(ShuffleMetrics, ScopeTagsStages) {
+  Context ctx(cfgNodes(4), 2);
+  {
+    ScopedStage scope(ctx.metrics(), "MTTKRP-1");
+    parallelize(ctx, makeData(100), 4)
+        .partitionBy(ctx.hashPartitioner(4))
+        .materialize();
+  }
+  parallelize(ctx, makeData(100), 4)
+      .partitionBy(ctx.hashPartitioner(4))
+      .materialize();
+
+  const auto scoped = ctx.metrics().totalsForScope("MTTKRP-1");
+  const auto all = ctx.metrics().totals();
+  EXPECT_EQ(scoped.shuffleOps, 1u);
+  EXPECT_EQ(all.shuffleOps, 2u);
+  EXPECT_LT(scoped.shuffleBytesRemote + scoped.shuffleBytesLocal,
+            all.shuffleBytesRemote + all.shuffleBytesLocal);
+}
+
+TEST(ShuffleMetrics, NestedScopesJoinWithSlash) {
+  Context ctx(cfgNodes(2), 2);
+  {
+    ScopedStage outer(ctx.metrics(), "iter-1");
+    ScopedStage inner(ctx.metrics(), "MTTKRP-2");
+    EXPECT_EQ(ctx.metrics().currentScope(), "iter-1/MTTKRP-2");
+  }
+  EXPECT_EQ(ctx.metrics().currentScope(), "");
+}
+
+TEST(ShuffleMetrics, LazinessNoStagesBeforeAction) {
+  Context ctx(cfgNodes(4), 2);
+  auto rdd = parallelize(ctx, makeData(100), 4)
+                 .partitionBy(ctx.hashPartitioner(4))
+                 .mapValues([](const double& v) { return v + 1; });
+  EXPECT_EQ(ctx.metrics().stages().size(), 0u);
+  rdd.materialize();
+  EXPECT_GT(ctx.metrics().stages().size(), 0u);
+}
+
+TEST(ShuffleMetrics, ShuffleMaterializesOnce) {
+  Context ctx(cfgNodes(4), 2);
+  auto rdd = parallelize(ctx, makeData(100), 4)
+                 .partitionBy(ctx.hashPartitioner(4));
+  rdd.materialize();
+  const auto before = ctx.metrics().totals().shuffleOps;
+  rdd.count();
+  rdd.collect();
+  EXPECT_EQ(ctx.metrics().totals().shuffleOps, before);
+}
+
+TEST(ShuffleMetrics, BroadcastMetersBytes) {
+  Context ctx(cfgNodes(8), 2);
+  std::vector<double> gram(4, 1.0);
+  auto b = broadcast(ctx, gram);
+  EXPECT_EQ(b.value().size(), 4u);
+  const auto t = ctx.metrics().totals();
+  EXPECT_EQ(t.broadcastBytes, serdeSize(gram) * 7);
+}
+
+TEST(ShuffleMetrics, EnvelopeBytesConfigurable) {
+  ClusterConfig a = cfgNodes(4);
+  a.recordEnvelopeBytes = 0;
+  ClusterConfig b = cfgNodes(4);
+  b.recordEnvelopeBytes = 100;
+
+  std::uint64_t bytesA = 0;
+  std::uint64_t bytesB = 0;
+  {
+    Context ctx(a, 2);
+    parallelize(ctx, makeData(100), 4)
+        .partitionBy(ctx.hashPartitioner(4))
+        .materialize();
+    const auto t = ctx.metrics().totals();
+    bytesA = t.shuffleBytesRemote + t.shuffleBytesLocal;
+  }
+  {
+    Context ctx(b, 2);
+    parallelize(ctx, makeData(100), 4)
+        .partitionBy(ctx.hashPartitioner(4))
+        .materialize();
+    const auto t = ctx.metrics().totals();
+    bytesB = t.shuffleBytesRemote + t.shuffleBytesLocal;
+  }
+  EXPECT_EQ(bytesB - bytesA, 100u * 100u);
+}
+
+TEST(ShuffleMetrics, ResetClears) {
+  Context ctx(cfgNodes(4), 2);
+  parallelize(ctx, makeData(10), 2)
+      .partitionBy(ctx.hashPartitioner(2))
+      .materialize();
+  EXPECT_GT(ctx.metrics().stages().size(), 0u);
+  ctx.metrics().reset();
+  EXPECT_EQ(ctx.metrics().stages().size(), 0u);
+  EXPECT_DOUBLE_EQ(ctx.metrics().simTimeSec(), 0.0);
+}
+
+}  // namespace
+}  // namespace cstf::sparkle

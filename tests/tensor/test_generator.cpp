@@ -1,0 +1,162 @@
+#include "tensor/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace cstf::tensor {
+namespace {
+
+TEST(Generator, ProducesRequestedShape) {
+  GeneratorOptions o;
+  o.dims = {100, 200, 50};
+  o.nnz = 5000;
+  CooTensor t = generateRandom(o);
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.dims(), o.dims);
+  // Distinct-coordinate sampling hits the requested count exactly.
+  EXPECT_EQ(t.nnz(), 5000u);
+  t.validate();
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  GeneratorOptions o;
+  o.dims = {50, 50, 50};
+  o.nnz = 1000;
+  o.seed = 99;
+  CooTensor a = generateRandom(o);
+  CooTensor b = generateRandom(o);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::size_t i = 0; i < a.nnz(); ++i) {
+    EXPECT_EQ(a.nonzeros()[i], b.nonzeros()[i]);
+  }
+}
+
+TEST(Generator, SeedChangesData) {
+  GeneratorOptions o;
+  o.dims = {50, 50, 50};
+  o.nnz = 100;
+  o.seed = 1;
+  CooTensor a = generateRandom(o);
+  o.seed = 2;
+  CooTensor b = generateRandom(o);
+  bool anyDiff = a.nnz() != b.nnz();
+  for (std::size_t i = 0; !anyDiff && i < a.nnz(); ++i) {
+    anyDiff = !(a.nonzeros()[i] == b.nonzeros()[i]);
+  }
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Generator, ValuesPositiveAndBounded) {
+  GeneratorOptions o;
+  o.dims = {20, 20, 20};
+  o.nnz = 500;
+  o.valueMax = 5.0;
+  for (const Nonzero& nz : generateRandom(o).nonzeros()) {
+    EXPECT_GT(nz.val, 0.0);
+    EXPECT_LE(nz.val, 5.0);
+  }
+}
+
+TEST(Generator, ZipfModeIsSkewedUniformIsNot) {
+  GeneratorOptions o;
+  o.dims = {1000, 1000, 1000};
+  o.nnz = 20000;
+  o.zipfSkew = {1.2, 0.0, 0.0};
+  CooTensor t = generateRandom(o);
+
+  std::map<Index, int> mode0;
+  std::map<Index, int> mode1;
+  for (const Nonzero& nz : t.nonzeros()) {
+    ++mode0[nz.idx[0]];
+    ++mode1[nz.idx[1]];
+  }
+  const auto maxCount = [](const std::map<Index, int>& m) {
+    int best = 0;
+    for (const auto& [k, c] : m) best = std::max(best, c);
+    return best;
+  };
+  // The Zipf head index absorbs far more mass than any uniform index.
+  EXPECT_GT(maxCount(mode0), 5 * maxCount(mode1));
+}
+
+TEST(Generator, PaperAnalogsMatchTable5Shape) {
+  // Scaled-down analogs preserve Table 5's orders, relative mode sizes and
+  // nonzero counts (within coalescing loss).
+  struct Expect {
+    const char* name;
+    int order;
+    Index maxMode;
+    std::size_t nnz;
+  };
+  const Expect expected[] = {
+      {"delicious3d-s", 3, 17300, 140000},
+      {"nell1-s", 3, 25500, 144000},
+      {"synt3d-s", 3, 15000, 200000},
+      {"flickr-s", 4, 28000, 112000},
+      {"delicious4d-s", 4, 17300, 140000},
+  };
+  for (const auto& e : expected) {
+    CooTensor t = paperAnalog(e.name, 0.1);  // small for test speed
+    EXPECT_EQ(int(t.order()), e.order) << e.name;
+    EXPECT_EQ(t.maxModeSize(), Index(e.maxMode * 0.1)) << e.name;
+    EXPECT_EQ(t.nnz(), std::size_t(e.nnz * 0.1)) << e.name;
+    t.validate();
+  }
+}
+
+TEST(Generator, PaperAnalogNamesCoverTable5) {
+  EXPECT_EQ(paperAnalogNames().size(), 5u);
+}
+
+TEST(Generator, UnknownAnalogThrows) {
+  EXPECT_THROW(paperAnalog("no-such-tensor"), Error);
+}
+
+TEST(Generator, LowRankMaskedModeSamplesDistinctCells) {
+  CooTensor t = generateLowRank({20, 20, 20}, 2, 500, 7);
+  EXPECT_EQ(t.nnz(), 500u);
+  t.validate();
+}
+
+TEST(Generator, LowRankFullGridIsExactlyLowRank) {
+  // nnz >= cells emits the complete grid; the resulting COO tensor is a
+  // dense rank-2 tensor, verifiable through its unfoldings: every mode-n
+  // unfolding has rank <= 2, so any 3x3 minor... — cheaper: the Frobenius
+  // norm of the full grid must match the model norm computed analytically
+  // by modelNormSq in reference_ops (covered there); here check coverage.
+  CooTensor t = generateLowRank({6, 5, 4}, 2, 120, 8);
+  EXPECT_EQ(t.nnz(), 120u);  // all 6*5*4 cells present (none exactly zero)
+  t.validate();
+  bool sawNegative = false;
+  for (const Nonzero& nz : t.nonzeros()) sawNegative |= nz.val < 0.0;
+  EXPECT_TRUE(sawNegative) << "Gaussian factors produce mixed-sign values";
+}
+
+TEST(Generator, LowRankNoiseChangesValues) {
+  CooTensor clean = generateLowRank({10, 10, 10}, 2, 100, 3, 0.0);
+  CooTensor noisy = generateLowRank({10, 10, 10}, 2, 100, 3, 0.5);
+  ASSERT_EQ(clean.nnz(), noisy.nnz());
+  bool differ = false;
+  for (std::size_t i = 0; i < clean.nnz() && !differ; ++i) {
+    differ = clean.nonzeros()[i].val != noisy.nonzeros()[i].val;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Generator, RejectsBadOptions) {
+  GeneratorOptions o;
+  o.dims = {};
+  o.nnz = 10;
+  EXPECT_THROW(generateRandom(o), Error);
+  o.dims = {10, 10};
+  o.nnz = 0;
+  EXPECT_THROW(generateRandom(o), Error);
+  o.dims = {10, 0};
+  o.nnz = 5;
+  EXPECT_THROW(generateRandom(o), Error);
+}
+
+}  // namespace
+}  // namespace cstf::tensor

@@ -1,0 +1,98 @@
+#include "tensor/matricize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tensor/generator.hpp"
+
+namespace cstf::tensor {
+namespace {
+
+TEST(Matricize, Mode1ColumnFormula3Order) {
+  // Kolda & Bader: mode-0 unfolding of (i,j,k) lands at column j + k*J.
+  CooTensor t({2, 3, 4}, {makeNonzero3(1, 2, 3, 5.0)});
+  SparseMatrix m = matricize(t, 0);
+  EXPECT_EQ(m.rows, 2u);
+  EXPECT_EQ(m.cols, 12u);
+  ASSERT_EQ(m.entries.size(), 1u);
+  EXPECT_EQ(m.entries[0].row, 1u);
+  EXPECT_EQ(m.entries[0].col, 2u + 3u * 3u);
+  EXPECT_DOUBLE_EQ(m.entries[0].val, 5.0);
+}
+
+TEST(Matricize, Mode2ColumnFormula3Order) {
+  // mode-1 unfolding of (i,j,k): column i + k*I.
+  CooTensor t({2, 3, 4}, {makeNonzero3(1, 2, 3, 5.0)});
+  SparseMatrix m = matricize(t, 1);
+  EXPECT_EQ(m.rows, 3u);
+  EXPECT_EQ(m.cols, 8u);
+  EXPECT_EQ(m.entries[0].row, 2u);
+  EXPECT_EQ(m.entries[0].col, 1u + 3u * 2u);
+}
+
+TEST(Matricize, LastModeColumnFormula) {
+  CooTensor t({2, 3, 4}, {makeNonzero3(1, 2, 3, 5.0)});
+  SparseMatrix m = matricize(t, 2);
+  EXPECT_EQ(m.rows, 4u);
+  EXPECT_EQ(m.cols, 6u);
+  EXPECT_EQ(m.entries[0].row, 3u);
+  EXPECT_EQ(m.entries[0].col, 1u + 2u * 2u);
+}
+
+TEST(Matricize, FourOrderColumns) {
+  CooTensor t({2, 3, 4, 5}, {makeNonzero4(1, 2, 3, 4, 1.0)});
+  SparseMatrix m = matricize(t, 0);
+  // col = j + k*J + l*J*K = 2 + 3*3 + 4*12 = 59
+  EXPECT_EQ(m.entries[0].col, 59u);
+  EXPECT_EQ(m.cols, 60u);
+}
+
+TEST(Matricize, ColumnRoundTrip) {
+  const std::vector<Index> dims{7, 11, 5, 3};
+  CooTensor t = generateRandom({dims, 200, {}, 77});
+  for (ModeId mode = 0; mode < 4; ++mode) {
+    for (const Nonzero& nz : t.nonzeros()) {
+      const LongIndex col = matricizedColumn(nz, dims, mode);
+      const auto back = columnToIndices(col, dims, mode);
+      std::size_t b = 0;
+      for (ModeId m = 0; m < 4; ++m) {
+        if (m == mode) continue;
+        EXPECT_EQ(back[b++], nz.idx[m]);
+      }
+    }
+  }
+}
+
+TEST(Matricize, ColumnsAreInjectivePerMode) {
+  const std::vector<Index> dims{4, 5, 6};
+  CooTensor t = generateRandom({dims, 100, {}, 3});
+  for (ModeId mode = 0; mode < 3; ++mode) {
+    SparseMatrix m = matricize(t, mode);
+    std::set<std::pair<Index, LongIndex>> cells;
+    for (const auto& e : m.entries) {
+      EXPECT_LT(e.col, m.cols);
+      EXPECT_TRUE(cells.insert({e.row, e.col}).second)
+          << "distinct nonzeros collided in the unfolding";
+    }
+  }
+}
+
+TEST(Matricize, PreservesValuesAndCount) {
+  CooTensor t = generateRandom({{10, 10, 10}, 300, {}, 5});
+  SparseMatrix m = matricize(t, 1);
+  ASSERT_EQ(m.entries.size(), t.nnz());
+  double sum = 0;
+  double sumT = 0;
+  for (const auto& e : m.entries) sum += e.val;
+  for (const auto& nz : t.nonzeros()) sumT += nz.val;
+  EXPECT_DOUBLE_EQ(sum, sumT);
+}
+
+TEST(Matricize, ModeOutOfRangeThrows) {
+  CooTensor t({2, 2, 2}, {});
+  EXPECT_THROW(matricize(t, 3), Error);
+}
+
+}  // namespace
+}  // namespace cstf::tensor

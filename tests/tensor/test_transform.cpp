@@ -1,0 +1,120 @@
+#include "tensor/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/generator.hpp"
+#include "tensor/reference_ops.hpp"
+
+namespace cstf::tensor {
+namespace {
+
+TEST(Transform, PermuteSwapsIndicesAndDims) {
+  CooTensor t({2, 3, 4}, {makeNonzero3(1, 2, 3, 5.0)});
+  CooTensor p = permuteModes(t, {2, 0, 1});
+  EXPECT_EQ(p.dims(), (std::vector<Index>{4, 2, 3}));
+  EXPECT_EQ(p.nonzeros()[0], makeNonzero3(3, 1, 2, 5.0));
+  p.validate();
+}
+
+TEST(Transform, PermuteIdentityIsNoop) {
+  CooTensor t = generateRandom({{5, 6, 7}, 50, {}, 1});
+  CooTensor p = permuteModes(t, {0, 1, 2});
+  ASSERT_EQ(p.nnz(), t.nnz());
+  for (std::size_t i = 0; i < t.nnz(); ++i) {
+    EXPECT_EQ(p.nonzeros()[i], t.nonzeros()[i]);
+  }
+}
+
+TEST(Transform, PermuteRoundTrip) {
+  CooTensor t = generateRandom({{4, 5, 6, 7}, 80, {}, 2});
+  // Apply perm then its inverse.
+  CooTensor p = permuteModes(t, {3, 0, 2, 1});
+  CooTensor back = permuteModes(p, {1, 3, 2, 0});
+  ASSERT_EQ(back.nnz(), t.nnz());
+  EXPECT_EQ(back.dims(), t.dims());
+  for (std::size_t i = 0; i < t.nnz(); ++i) {
+    EXPECT_EQ(back.nonzeros()[i], t.nonzeros()[i]);
+  }
+}
+
+TEST(Transform, PermuteRejectsNonPermutations) {
+  CooTensor t({2, 2, 2}, {});
+  EXPECT_THROW(permuteModes(t, {0, 1}), Error);
+  EXPECT_THROW(permuteModes(t, {0, 1, 1}), Error);
+  EXPECT_THROW(permuteModes(t, {0, 1, 3}), Error);
+}
+
+TEST(Transform, MttkrpIsModeSymmetricUnderPermutation) {
+  // MTTKRP along mode 0 of the permuted tensor (with permuted factors)
+  // must equal MTTKRP along perm[0] of the original — the invariant that
+  // justifies testing distributed backends mainly on low modes.
+  CooTensor t = generateRandom({{6, 7, 8}, 120, {}, 3});
+  Pcg32 rng(4);
+  std::vector<la::Matrix> fs;
+  for (ModeId m = 0; m < 3; ++m) {
+    fs.push_back(la::Matrix::random(t.dim(m), 2, rng));
+  }
+  const std::vector<ModeId> perm{2, 0, 1};
+  CooTensor p = permuteModes(t, perm);
+  std::vector<la::Matrix> pfs{fs[2], fs[0], fs[1]};
+
+  la::Matrix viaPermuted = referenceMttkrp(p, pfs, 0);
+  la::Matrix direct = referenceMttkrp(t, fs, 2);
+  EXPECT_LT(viaPermuted.maxAbsDiff(direct), 1e-12);
+}
+
+TEST(Transform, SliceKeepsWindowAndReindexes) {
+  CooTensor t({10, 4, 4},
+              {makeNonzero3(2, 0, 0, 1.0), makeNonzero3(5, 1, 1, 2.0),
+               makeNonzero3(9, 2, 2, 3.0)});
+  CooTensor s = sliceMode(t, 0, 4, 8);
+  EXPECT_EQ(s.dim(0), 4u);
+  ASSERT_EQ(s.nnz(), 1u);
+  EXPECT_EQ(s.nonzeros()[0], makeNonzero3(1, 1, 1, 2.0));
+  s.validate();
+}
+
+TEST(Transform, SliceFullRangeKeepsEverything) {
+  CooTensor t = generateRandom({{8, 8, 8}, 60, {}, 5});
+  CooTensor s = sliceMode(t, 1, 0, 8);
+  EXPECT_EQ(s.nnz(), t.nnz());
+}
+
+TEST(Transform, SliceRejectsBadRanges) {
+  CooTensor t({4, 4, 4}, {});
+  EXPECT_THROW(sliceMode(t, 3, 0, 2), Error);
+  EXPECT_THROW(sliceMode(t, 0, 2, 2), Error);
+  EXPECT_THROW(sliceMode(t, 0, 0, 5), Error);
+}
+
+TEST(Transform, FixModeDropsToLowerOrder) {
+  CooTensor t({3, 4, 5},
+              {makeNonzero3(1, 2, 3, 7.0), makeNonzero3(2, 2, 3, 8.0)});
+  CooTensor f = fixMode(t, 0, 1);
+  EXPECT_EQ(f.order(), 2);
+  EXPECT_EQ(f.dims(), (std::vector<Index>{4, 5}));
+  ASSERT_EQ(f.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(f.nonzeros()[0].val, 7.0);
+  EXPECT_EQ(f.nonzeros()[0].idx[0], 2u);
+  EXPECT_EQ(f.nonzeros()[0].idx[1], 3u);
+  f.validate();
+}
+
+TEST(Transform, FixModeSumsToWholeTensor) {
+  // Summing |slice| nnz over all indices of a mode covers every nonzero.
+  CooTensor t = generateRandom({{5, 9, 6}, 100, {}, 6});
+  std::size_t total = 0;
+  for (Index i = 0; i < t.dim(1); ++i) total += fixMode(t, 1, i).nnz();
+  EXPECT_EQ(total, t.nnz());
+}
+
+TEST(Transform, ScaleValues) {
+  CooTensor t({2, 2, 2}, {makeNonzero3(0, 0, 0, 2.0)});
+  CooTensor s = scaleValues(t, -1.5);
+  EXPECT_DOUBLE_EQ(s.nonzeros()[0].val, -3.0);
+  EXPECT_DOUBLE_EQ(s.norm(), 3.0);
+  EXPECT_EQ(scaleValues(t, 0.0).nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace cstf::tensor

@@ -1,0 +1,229 @@
+// cstf — command-line front end.
+//
+//   cstf info <tensor>                     structural statistics
+//   cstf generate <analog> <out.{tns,bns}> write a synthetic dataset
+//   cstf factor <tensor> [options]         run CP-ALS
+//
+// <tensor> is a FROSTT .tns path, a binary .bns path, or the name of a
+// built-in paper analog
+// (delicious3d-s, nell1-s, synt3d-s, flickr-s, delicious4d-s).
+//
+// factor options:
+//   --rank R        CP rank (default 2)
+//   --iters N       max iterations (default 20)
+//   --tol T         fit-improvement stopping tolerance (default 1e-6)
+//   --backend B     coo | qcoo | bigtensor | reference (default qcoo)
+//   --nodes N       simulated cluster size (default 8)
+//   --seed S        factor initialization seed (default 7)
+//   --scale X       scale for analog datasets (default 0.2)
+//   --output P      write factors to P.mode<k>.txt and lambda to P.lambda.txt
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "cstf/cstf.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/io.hpp"
+#include "tensor/stats.hpp"
+
+using namespace cstf;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cstf info <tensor> [--scale X]\n"
+               "       cstf generate <analog> <out.tns> [--scale X]\n"
+               "       cstf factor <tensor> [--rank R] [--iters N] [--tol T]\n"
+               "                   [--backend coo|qcoo|bigtensor|reference]\n"
+               "                   [--nodes N] [--seed S] [--scale X]\n"
+               "                   [--output PREFIX]\n");
+  return 2;
+}
+
+bool isAnalogName(const std::string& s) {
+  for (const std::string& name : tensor::paperAnalogNames()) {
+    if (name == s) return true;
+  }
+  return false;
+}
+
+tensor::CooTensor loadTensor(const std::string& spec, double scale) {
+  if (isAnalogName(spec)) return tensor::paperAnalog(spec, scale);
+  return tensor::readTensorFile(spec);
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::size_t rank = 2;
+  int iters = 20;
+  double tol = 1e-6;
+  std::string backend = "qcoo";
+  int nodes = 8;
+  std::uint64_t seed = 7;
+  double scale = 0.2;
+  std::string output;
+};
+
+bool parseArgs(int argc, char** argv, Args& a) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--rank") {
+      const char* v = next("--rank");
+      if (!v) return false;
+      a.rank = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--iters") {
+      const char* v = next("--iters");
+      if (!v) return false;
+      a.iters = std::atoi(v);
+    } else if (arg == "--tol") {
+      const char* v = next("--tol");
+      if (!v) return false;
+      a.tol = std::atof(v);
+    } else if (arg == "--backend") {
+      const char* v = next("--backend");
+      if (!v) return false;
+      a.backend = v;
+    } else if (arg == "--nodes") {
+      const char* v = next("--nodes");
+      if (!v) return false;
+      a.nodes = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      a.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--scale") {
+      const char* v = next("--scale");
+      if (!v) return false;
+      a.scale = std::atof(v);
+    } else if (arg == "--output") {
+      const char* v = next("--output");
+      if (!v) return false;
+      a.output = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    } else {
+      a.positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+void writeMatrix(const std::string& path, const la::Matrix& m) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write " + path);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      out << strprintf("%.17g%c", m(i, j), j + 1 == m.cols() ? '\n' : ' ');
+    }
+  }
+}
+
+int cmdInfo(const Args& a, const std::string& spec) {
+  const tensor::CooTensor t = loadTensor(spec, a.scale);
+  std::fputs(tensor::formatStats(t, tensor::analyzeTensor(t)).c_str(),
+             stdout);
+  return 0;
+}
+
+int cmdGenerate(const Args& a, const std::string& analog,
+                const std::string& outPath) {
+  if (!isAnalogName(analog)) {
+    std::fprintf(stderr, "unknown analog '%s'; choose one of:", analog.c_str());
+    for (const auto& n : tensor::paperAnalogNames()) {
+      std::fprintf(stderr, " %s", n.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const tensor::CooTensor t = tensor::paperAnalog(analog, a.scale);
+  tensor::writeTensorFile(outPath, t);
+  std::printf("wrote %zu nonzeros to %s\n", t.nnz(), outPath.c_str());
+  return 0;
+}
+
+int cmdFactor(const Args& a, const std::string& spec) {
+  const tensor::CooTensor t = loadTensor(spec, a.scale);
+  std::printf("%s", tensor::formatStats(t, tensor::analyzeTensor(t)).c_str());
+
+  sparkle::ClusterConfig cluster;
+  cluster.numNodes = a.nodes;
+  const cstf_core::Backend backend = cstf_core::backendFromName(a.backend);
+  if (backend == cstf_core::Backend::kBigtensor) {
+    cluster.mode = sparkle::ExecutionMode::kHadoop;
+  }
+  sparkle::Context ctx(cluster);
+
+  cstf_core::CpAlsOptions opts;
+  opts.rank = a.rank;
+  opts.maxIterations = a.iters;
+  opts.tolerance = a.tol;
+  opts.backend = backend;
+  opts.seed = a.seed;
+
+  std::printf("\nCP-ALS: rank %zu, backend %s, %d simulated nodes\n", a.rank,
+              cstf_core::backendName(backend), a.nodes);
+  const auto result = cstf_core::cpAls(ctx, t, opts);
+  for (const auto& it : result.iterations) {
+    std::printf("  iter %3d  fit %.6f  (+%.2e)  cluster %s\n", it.iteration,
+                it.fit, it.fitDelta, humanSeconds(it.simTimeSec).c_str());
+  }
+  std::printf("final fit %.6f after %zu iterations%s\n", result.finalFit,
+              result.iterations.size(),
+              result.converged ? " (converged)" : "");
+
+  const auto m = ctx.metrics().totals();
+  std::printf("cluster: %llu shuffle ops, %s remote + %s local shuffle, "
+              "%.3g flops, modeled time %s\n",
+              static_cast<unsigned long long>(m.shuffleOps),
+              humanBytes(double(m.shuffleBytesRemote)).c_str(),
+              humanBytes(double(m.shuffleBytesLocal)).c_str(),
+              double(m.flops), humanSeconds(m.simTimeSec).c_str());
+
+  if (!a.output.empty()) {
+    for (std::size_t k = 0; k < result.factors.size(); ++k) {
+      writeMatrix(strprintf("%s.mode%zu.txt", a.output.c_str(), k + 1),
+                  result.factors[k]);
+    }
+    std::ofstream lam(a.output + ".lambda.txt");
+    for (double l : result.lambda) lam << strprintf("%.17g\n", l);
+    std::printf("factors written to %s.mode*.txt\n", a.output.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  Args a;
+  if (!parseArgs(argc, argv, a)) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info" && a.positional.size() == 1) {
+      return cmdInfo(a, a.positional[0]);
+    }
+    if (cmd == "generate" && a.positional.size() == 2) {
+      return cmdGenerate(a, a.positional[0], a.positional[1]);
+    }
+    if (cmd == "factor" && a.positional.size() == 1) {
+      return cmdFactor(a, a.positional[0]);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
