@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dimtree.dir/bench_ablation_dimtree.cpp.o"
+  "CMakeFiles/bench_ablation_dimtree.dir/bench_ablation_dimtree.cpp.o.d"
+  "bench_ablation_dimtree"
+  "bench_ablation_dimtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dimtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_envelope.dir/bench_ablation_envelope.cpp.o"
+  "CMakeFiles/bench_ablation_envelope.dir/bench_ablation_envelope.cpp.o.d"
+  "bench_ablation_envelope"
+  "bench_ablation_envelope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

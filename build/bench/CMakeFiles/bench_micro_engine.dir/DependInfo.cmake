@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_engine.cpp" "bench/CMakeFiles/bench_micro_engine.dir/bench_micro_engine.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_engine.dir/bench_micro_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cstf/CMakeFiles/cstf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparkle/CMakeFiles/cstf_sparkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cstf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/cstf_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cstf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_order5.dir/bench_order5.cpp.o"
+  "CMakeFiles/bench_order5.dir/bench_order5.cpp.o.d"
+  "bench_order5"
+  "bench_order5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_order5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libcstf_bench_util.a"
+)

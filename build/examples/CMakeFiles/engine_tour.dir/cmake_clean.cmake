@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_tour.dir/engine_tour.cpp.o"
+  "CMakeFiles/engine_tour.dir/engine_tour.cpp.o.d"
+  "engine_tour"
+  "engine_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_triplets.dir/knowledge_triplets.cpp.o"
+  "CMakeFiles/knowledge_triplets.dir/knowledge_triplets.cpp.o.d"
+  "knowledge_triplets"
+  "knowledge_triplets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_triplets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

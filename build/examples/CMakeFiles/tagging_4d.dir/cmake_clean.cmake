@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagging_4d.dir/tagging_4d.cpp.o"
+  "CMakeFiles/tagging_4d.dir/tagging_4d.cpp.o.d"
+  "tagging_4d"
+  "tagging_4d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagging_4d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_common.dir/log.cpp.o"
+  "CMakeFiles/cstf_common.dir/log.cpp.o.d"
+  "CMakeFiles/cstf_common.dir/strings.cpp.o"
+  "CMakeFiles/cstf_common.dir/strings.cpp.o.d"
+  "CMakeFiles/cstf_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/cstf_common.dir/thread_pool.cpp.o.d"
+  "libcstf_common.a"
+  "libcstf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cstf_common.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cstf/cost_model.cpp" "src/cstf/CMakeFiles/cstf_core.dir/cost_model.cpp.o" "gcc" "src/cstf/CMakeFiles/cstf_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/cstf/cp_als.cpp" "src/cstf/CMakeFiles/cstf_core.dir/cp_als.cpp.o" "gcc" "src/cstf/CMakeFiles/cstf_core.dir/cp_als.cpp.o.d"
+  "/root/repo/src/cstf/dim_tree.cpp" "src/cstf/CMakeFiles/cstf_core.dir/dim_tree.cpp.o" "gcc" "src/cstf/CMakeFiles/cstf_core.dir/dim_tree.cpp.o.d"
+  "/root/repo/src/cstf/factors.cpp" "src/cstf/CMakeFiles/cstf_core.dir/factors.cpp.o" "gcc" "src/cstf/CMakeFiles/cstf_core.dir/factors.cpp.o.d"
+  "/root/repo/src/cstf/mttkrp_bigtensor.cpp" "src/cstf/CMakeFiles/cstf_core.dir/mttkrp_bigtensor.cpp.o" "gcc" "src/cstf/CMakeFiles/cstf_core.dir/mttkrp_bigtensor.cpp.o.d"
+  "/root/repo/src/cstf/mttkrp_coo.cpp" "src/cstf/CMakeFiles/cstf_core.dir/mttkrp_coo.cpp.o" "gcc" "src/cstf/CMakeFiles/cstf_core.dir/mttkrp_coo.cpp.o.d"
+  "/root/repo/src/cstf/mttkrp_qcoo.cpp" "src/cstf/CMakeFiles/cstf_core.dir/mttkrp_qcoo.cpp.o" "gcc" "src/cstf/CMakeFiles/cstf_core.dir/mttkrp_qcoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cstf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparkle/CMakeFiles/cstf_sparkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/cstf_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cstf_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

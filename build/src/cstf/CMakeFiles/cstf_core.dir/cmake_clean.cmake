@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_core.dir/cost_model.cpp.o"
+  "CMakeFiles/cstf_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/cstf_core.dir/cp_als.cpp.o"
+  "CMakeFiles/cstf_core.dir/cp_als.cpp.o.d"
+  "CMakeFiles/cstf_core.dir/dim_tree.cpp.o"
+  "CMakeFiles/cstf_core.dir/dim_tree.cpp.o.d"
+  "CMakeFiles/cstf_core.dir/factors.cpp.o"
+  "CMakeFiles/cstf_core.dir/factors.cpp.o.d"
+  "CMakeFiles/cstf_core.dir/mttkrp_bigtensor.cpp.o"
+  "CMakeFiles/cstf_core.dir/mttkrp_bigtensor.cpp.o.d"
+  "CMakeFiles/cstf_core.dir/mttkrp_coo.cpp.o"
+  "CMakeFiles/cstf_core.dir/mttkrp_coo.cpp.o.d"
+  "CMakeFiles/cstf_core.dir/mttkrp_qcoo.cpp.o"
+  "CMakeFiles/cstf_core.dir/mttkrp_qcoo.cpp.o.d"
+  "libcstf_core.a"
+  "libcstf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

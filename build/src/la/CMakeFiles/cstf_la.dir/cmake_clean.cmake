@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_la.dir/matrix.cpp.o"
+  "CMakeFiles/cstf_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/cstf_la.dir/normalize.cpp.o"
+  "CMakeFiles/cstf_la.dir/normalize.cpp.o.d"
+  "CMakeFiles/cstf_la.dir/solve.cpp.o"
+  "CMakeFiles/cstf_la.dir/solve.cpp.o.d"
+  "libcstf_la.a"
+  "libcstf_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_sparkle.dir/metrics.cpp.o"
+  "CMakeFiles/cstf_sparkle.dir/metrics.cpp.o.d"
+  "libcstf_sparkle.a"
+  "libcstf_sparkle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_sparkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/coo_tensor.cpp" "src/tensor/CMakeFiles/cstf_tensor.dir/coo_tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/cstf_tensor.dir/coo_tensor.cpp.o.d"
+  "/root/repo/src/tensor/generator.cpp" "src/tensor/CMakeFiles/cstf_tensor.dir/generator.cpp.o" "gcc" "src/tensor/CMakeFiles/cstf_tensor.dir/generator.cpp.o.d"
+  "/root/repo/src/tensor/io.cpp" "src/tensor/CMakeFiles/cstf_tensor.dir/io.cpp.o" "gcc" "src/tensor/CMakeFiles/cstf_tensor.dir/io.cpp.o.d"
+  "/root/repo/src/tensor/matricize.cpp" "src/tensor/CMakeFiles/cstf_tensor.dir/matricize.cpp.o" "gcc" "src/tensor/CMakeFiles/cstf_tensor.dir/matricize.cpp.o.d"
+  "/root/repo/src/tensor/reference_ops.cpp" "src/tensor/CMakeFiles/cstf_tensor.dir/reference_ops.cpp.o" "gcc" "src/tensor/CMakeFiles/cstf_tensor.dir/reference_ops.cpp.o.d"
+  "/root/repo/src/tensor/stats.cpp" "src/tensor/CMakeFiles/cstf_tensor.dir/stats.cpp.o" "gcc" "src/tensor/CMakeFiles/cstf_tensor.dir/stats.cpp.o.d"
+  "/root/repo/src/tensor/transform.cpp" "src/tensor/CMakeFiles/cstf_tensor.dir/transform.cpp.o" "gcc" "src/tensor/CMakeFiles/cstf_tensor.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cstf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/cstf_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_tensor.dir/coo_tensor.cpp.o"
+  "CMakeFiles/cstf_tensor.dir/coo_tensor.cpp.o.d"
+  "CMakeFiles/cstf_tensor.dir/generator.cpp.o"
+  "CMakeFiles/cstf_tensor.dir/generator.cpp.o.d"
+  "CMakeFiles/cstf_tensor.dir/io.cpp.o"
+  "CMakeFiles/cstf_tensor.dir/io.cpp.o.d"
+  "CMakeFiles/cstf_tensor.dir/matricize.cpp.o"
+  "CMakeFiles/cstf_tensor.dir/matricize.cpp.o.d"
+  "CMakeFiles/cstf_tensor.dir/reference_ops.cpp.o"
+  "CMakeFiles/cstf_tensor.dir/reference_ops.cpp.o.d"
+  "CMakeFiles/cstf_tensor.dir/stats.cpp.o"
+  "CMakeFiles/cstf_tensor.dir/stats.cpp.o.d"
+  "CMakeFiles/cstf_tensor.dir/transform.cpp.o"
+  "CMakeFiles/cstf_tensor.dir/transform.cpp.o.d"
+  "libcstf_tensor.a"
+  "libcstf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

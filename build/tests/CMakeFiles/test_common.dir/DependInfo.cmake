@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_serde.cpp" "tests/CMakeFiles/test_common.dir/common/test_serde.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_serde.cpp.o.d"
+  "/root/repo/tests/common/test_small_vector.cpp" "tests/CMakeFiles/test_common.dir/common/test_small_vector.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_small_vector.cpp.o.d"
+  "/root/repo/tests/common/test_strings.cpp" "tests/CMakeFiles/test_common.dir/common/test_strings.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_strings.cpp.o.d"
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cstf/CMakeFiles/cstf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cstf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/cstf_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparkle/CMakeFiles/cstf_sparkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cstf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

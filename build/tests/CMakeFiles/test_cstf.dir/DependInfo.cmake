@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cstf/test_cost_model.cpp" "tests/CMakeFiles/test_cstf.dir/cstf/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_cstf.dir/cstf/test_cost_model.cpp.o.d"
+  "/root/repo/tests/cstf/test_cp_als.cpp" "tests/CMakeFiles/test_cstf.dir/cstf/test_cp_als.cpp.o" "gcc" "tests/CMakeFiles/test_cstf.dir/cstf/test_cp_als.cpp.o.d"
+  "/root/repo/tests/cstf/test_dim_tree.cpp" "tests/CMakeFiles/test_cstf.dir/cstf/test_dim_tree.cpp.o" "gcc" "tests/CMakeFiles/test_cstf.dir/cstf/test_dim_tree.cpp.o.d"
+  "/root/repo/tests/cstf/test_distributed_gram.cpp" "tests/CMakeFiles/test_cstf.dir/cstf/test_distributed_gram.cpp.o" "gcc" "tests/CMakeFiles/test_cstf.dir/cstf/test_distributed_gram.cpp.o.d"
+  "/root/repo/tests/cstf/test_mttkrp_backends.cpp" "tests/CMakeFiles/test_cstf.dir/cstf/test_mttkrp_backends.cpp.o" "gcc" "tests/CMakeFiles/test_cstf.dir/cstf/test_mttkrp_backends.cpp.o.d"
+  "/root/repo/tests/cstf/test_qcoo_engine.cpp" "tests/CMakeFiles/test_cstf.dir/cstf/test_qcoo_engine.cpp.o" "gcc" "tests/CMakeFiles/test_cstf.dir/cstf/test_qcoo_engine.cpp.o.d"
+  "/root/repo/tests/cstf/test_shuffle_accounting.cpp" "tests/CMakeFiles/test_cstf.dir/cstf/test_shuffle_accounting.cpp.o" "gcc" "tests/CMakeFiles/test_cstf.dir/cstf/test_shuffle_accounting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cstf/CMakeFiles/cstf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cstf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/cstf_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparkle/CMakeFiles/cstf_sparkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cstf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

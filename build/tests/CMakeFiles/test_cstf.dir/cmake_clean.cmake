@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cstf.dir/cstf/test_cost_model.cpp.o"
+  "CMakeFiles/test_cstf.dir/cstf/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_cstf.dir/cstf/test_cp_als.cpp.o"
+  "CMakeFiles/test_cstf.dir/cstf/test_cp_als.cpp.o.d"
+  "CMakeFiles/test_cstf.dir/cstf/test_dim_tree.cpp.o"
+  "CMakeFiles/test_cstf.dir/cstf/test_dim_tree.cpp.o.d"
+  "CMakeFiles/test_cstf.dir/cstf/test_distributed_gram.cpp.o"
+  "CMakeFiles/test_cstf.dir/cstf/test_distributed_gram.cpp.o.d"
+  "CMakeFiles/test_cstf.dir/cstf/test_mttkrp_backends.cpp.o"
+  "CMakeFiles/test_cstf.dir/cstf/test_mttkrp_backends.cpp.o.d"
+  "CMakeFiles/test_cstf.dir/cstf/test_qcoo_engine.cpp.o"
+  "CMakeFiles/test_cstf.dir/cstf/test_qcoo_engine.cpp.o.d"
+  "CMakeFiles/test_cstf.dir/cstf/test_shuffle_accounting.cpp.o"
+  "CMakeFiles/test_cstf.dir/cstf/test_shuffle_accounting.cpp.o.d"
+  "test_cstf"
+  "test_cstf.pdb"
+  "test_cstf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cstf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

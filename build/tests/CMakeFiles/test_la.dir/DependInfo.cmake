@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/la/test_khatri_rao.cpp" "tests/CMakeFiles/test_la.dir/la/test_khatri_rao.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/test_khatri_rao.cpp.o.d"
+  "/root/repo/tests/la/test_matrix.cpp" "tests/CMakeFiles/test_la.dir/la/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/test_matrix.cpp.o.d"
+  "/root/repo/tests/la/test_normalize.cpp" "tests/CMakeFiles/test_la.dir/la/test_normalize.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/test_normalize.cpp.o.d"
+  "/root/repo/tests/la/test_solve.cpp" "tests/CMakeFiles/test_la.dir/la/test_solve.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/test_solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cstf/CMakeFiles/cstf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cstf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/cstf_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparkle/CMakeFiles/cstf_sparkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cstf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la.dir/la/test_khatri_rao.cpp.o"
+  "CMakeFiles/test_la.dir/la/test_khatri_rao.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/test_matrix.cpp.o"
+  "CMakeFiles/test_la.dir/la/test_matrix.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/test_normalize.cpp.o"
+  "CMakeFiles/test_la.dir/la/test_normalize.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/test_solve.cpp.o"
+  "CMakeFiles/test_la.dir/la/test_solve.cpp.o.d"
+  "test_la"
+  "test_la.pdb"
+  "test_la[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sparkle/test_advanced_ops.cpp" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_advanced_ops.cpp.o" "gcc" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_advanced_ops.cpp.o.d"
+  "/root/repo/tests/sparkle/test_api_extras.cpp" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_api_extras.cpp.o" "gcc" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_api_extras.cpp.o.d"
+  "/root/repo/tests/sparkle/test_caching.cpp" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_caching.cpp.o" "gcc" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_caching.cpp.o.d"
+  "/root/repo/tests/sparkle/test_cluster_model.cpp" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_cluster_model.cpp.o" "gcc" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_cluster_model.cpp.o.d"
+  "/root/repo/tests/sparkle/test_fault_tolerance.cpp" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_fault_tolerance.cpp.o" "gcc" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_fault_tolerance.cpp.o.d"
+  "/root/repo/tests/sparkle/test_pair_ops.cpp" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_pair_ops.cpp.o" "gcc" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_pair_ops.cpp.o.d"
+  "/root/repo/tests/sparkle/test_partitioner.cpp" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_partitioner.cpp.o" "gcc" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_partitioner.cpp.o.d"
+  "/root/repo/tests/sparkle/test_pipelines.cpp" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_pipelines.cpp.o" "gcc" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_pipelines.cpp.o.d"
+  "/root/repo/tests/sparkle/test_rdd_basic.cpp" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_rdd_basic.cpp.o" "gcc" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_rdd_basic.cpp.o.d"
+  "/root/repo/tests/sparkle/test_shuffle_metrics.cpp" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_shuffle_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_shuffle_metrics.cpp.o.d"
+  "/root/repo/tests/sparkle/test_snapshot.cpp" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_snapshot.cpp.o" "gcc" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_snapshot.cpp.o.d"
+  "/root/repo/tests/sparkle/test_storage_levels.cpp" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_storage_levels.cpp.o" "gcc" "tests/CMakeFiles/test_sparkle.dir/sparkle/test_storage_levels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cstf/CMakeFiles/cstf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cstf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/cstf_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparkle/CMakeFiles/cstf_sparkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cstf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

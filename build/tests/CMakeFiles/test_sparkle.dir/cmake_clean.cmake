@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparkle.dir/sparkle/test_advanced_ops.cpp.o"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_advanced_ops.cpp.o.d"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_api_extras.cpp.o"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_api_extras.cpp.o.d"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_caching.cpp.o"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_caching.cpp.o.d"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_cluster_model.cpp.o"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_cluster_model.cpp.o.d"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_fault_tolerance.cpp.o"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_fault_tolerance.cpp.o.d"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_pair_ops.cpp.o"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_pair_ops.cpp.o.d"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_partitioner.cpp.o"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_partitioner.cpp.o.d"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_pipelines.cpp.o"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_pipelines.cpp.o.d"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_rdd_basic.cpp.o"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_rdd_basic.cpp.o.d"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_shuffle_metrics.cpp.o"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_shuffle_metrics.cpp.o.d"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_snapshot.cpp.o"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_snapshot.cpp.o.d"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_storage_levels.cpp.o"
+  "CMakeFiles/test_sparkle.dir/sparkle/test_storage_levels.cpp.o.d"
+  "test_sparkle"
+  "test_sparkle.pdb"
+  "test_sparkle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor/test_coo_tensor.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_coo_tensor.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_coo_tensor.cpp.o.d"
+  "/root/repo/tests/tensor/test_generator.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_generator.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_generator.cpp.o.d"
+  "/root/repo/tests/tensor/test_io.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_io.cpp.o.d"
+  "/root/repo/tests/tensor/test_matricize.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_matricize.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_matricize.cpp.o.d"
+  "/root/repo/tests/tensor/test_reference_ops.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_reference_ops.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_reference_ops.cpp.o.d"
+  "/root/repo/tests/tensor/test_stats.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_stats.cpp.o.d"
+  "/root/repo/tests/tensor/test_transform.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_transform.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cstf/CMakeFiles/cstf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cstf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/cstf_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparkle/CMakeFiles/cstf_sparkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cstf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor.dir/tensor/test_coo_tensor.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_coo_tensor.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_generator.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_generator.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_io.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_io.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_matricize.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_matricize.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_reference_ops.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_reference_ops.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_stats.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_stats.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_transform.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_transform.cpp.o.d"
+  "test_tensor"
+  "test_tensor.pdb"
+  "test_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

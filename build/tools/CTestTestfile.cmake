@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_info "/root/repo/build/tools/cstf" "info" "synt3d-s" "--scale" "0.02")
+set_tests_properties(cli_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_generate_and_reload "sh" "-c" "/root/repo/build/tools/cstf generate nell1-s /root/repo/build/cli_test.tns --scale 0.02 && /root/repo/build/tools/cstf info /root/repo/build/cli_test.tns")
+set_tests_properties(cli_generate_and_reload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_factor "/root/repo/build/tools/cstf" "factor" "synt3d-s" "--scale" "0.02" "--rank" "2" "--iters" "2" "--backend" "qcoo" "--nodes" "4")
+set_tests_properties(cli_factor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_usage "/root/repo/build/tools/cstf" "frobnicate")
+set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
