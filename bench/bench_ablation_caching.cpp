@@ -33,7 +33,9 @@ Row run(sparkle::StorageLevel level, const tensor::CooTensor& t) {
   o.backend = Backend::kCoo;
   o.computeFit = false;
   o.tensorStorage = level;
+  bench::RunArtifacts artifacts(ctx);
   auto res = cstf_core::cpAls(ctx, t, o);
+  artifacts.write(&res.report);
 
   Row row;
   double steady = 0.0;
@@ -49,7 +51,8 @@ Row run(sparkle::StorageLevel level, const tensor::CooTensor& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cstf::bench::initBenchArgs(argc, argv);
   bench::printHeader(
       "Ablation: tensor caching strategy (paper section 4.1), CSTF-COO, "
       "8 nodes");

@@ -32,7 +32,9 @@ Row run(bool combine, const tensor::CooTensor& t) {
   o.backend = Backend::kCoo;
   o.computeFit = false;
   o.mttkrp.mapSideCombine = combine;
-  cstf_core::cpAls(ctx, t, o);
+  bench::RunArtifacts artifacts(ctx);
+  auto res = cstf_core::cpAls(ctx, t, o);
+  artifacts.write(&res.report);
   // Only the reduceByKey stages are affected by combining; the join
   // shuffles would dilute the comparison.
   Row row;
@@ -47,7 +49,8 @@ Row run(bool combine, const tensor::CooTensor& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cstf::bench::initBenchArgs(argc, argv);
   bench::printHeader(
       "Ablation: map-side combine in the MTTKRP reduce (CSTF-COO, 8 nodes)");
 

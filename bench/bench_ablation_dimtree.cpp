@@ -43,7 +43,8 @@ double timeTreeSweep(const tensor::CooTensor& t,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cstf::bench::initBenchArgs(argc, argv);
   bench::printHeader(
       "Extension: dimension-tree vs naive MTTKRP sweeps (sequential)");
   std::printf("%-7s %12s %12s %14s %14s %10s\n", "order", "naive units",

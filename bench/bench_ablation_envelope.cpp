@@ -32,7 +32,9 @@ std::uint64_t iterationShuffleBytes(Backend b, const tensor::CooTensor& t,
     o.maxIterations = iters;
     o.backend = b;
     o.computeFit = false;
-    cstf_core::cpAls(ctx, t, o);
+    bench::RunArtifacts artifacts(ctx);
+    auto res = cstf_core::cpAls(ctx, t, o);
+    artifacts.write(&res.report);
     const auto m = ctx.metrics().totals();
     return m.shuffleBytesRemote + m.shuffleBytesLocal;
   };
@@ -41,7 +43,8 @@ std::uint64_t iterationShuffleBytes(Backend b, const tensor::CooTensor& t,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cstf::bench::initBenchArgs(argc, argv);
   bench::printHeader(
       "Ablation: serialization envelope vs QCOO shuffle savings (8 nodes)");
 

@@ -14,7 +14,8 @@
 
 using namespace cstf;
 
-int main() {
+int main(int argc, char** argv) {
+  cstf::bench::initBenchArgs(argc, argv);
   bench::printHeader(
       "Ablation: shuffle partition count (CSTF-COO, 8 nodes, delicious3d-s)");
 
@@ -30,7 +31,9 @@ int main() {
     o.maxIterations = 2;
     o.backend = cstf_core::Backend::kCoo;
     o.computeFit = false;
+    bench::RunArtifacts artifacts(ctx);
     auto res = cstf_core::cpAls(ctx, t, o);
+    artifacts.write(&res.report);
     const double perIter = res.iterations.back().simTimeSec;
     std::printf("%-12zu %8.2f %14.3f\n", parts,
                 double(parts) / ctx.config().totalCores(), perIter);

@@ -31,7 +31,9 @@ Point run(Backend b, const tensor::CooTensor& t, std::size_t rank,
   o.maxIterations = iters;
   o.backend = b;
   o.computeFit = false;
+  bench::RunArtifacts artifacts(ctx);
   auto res = cstf_core::cpAls(ctx, t, o);
+  artifacts.write(&res.report);
   Point p;
   double steady = 0.0;
   for (std::size_t i = 1; i < res.iterations.size(); ++i) {
@@ -45,7 +47,8 @@ Point run(Backend b, const tensor::CooTensor& t, std::size_t rank,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cstf::bench::initBenchArgs(argc, argv);
   bench::printHeader(
       "Ablation: CP rank vs QCOO advantage (delicious3d-s, 8 nodes)");
 

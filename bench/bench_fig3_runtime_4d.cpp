@@ -15,7 +15,8 @@
 using namespace cstf;
 using cstf_core::Backend;
 
-int main() {
+int main(int argc, char** argv) {
+  cstf::bench::initBenchArgs(argc, argv);
   const std::vector<int> nodeCounts{4, 8, 16, 32};
   const int iters = bench::benchIterations();
 

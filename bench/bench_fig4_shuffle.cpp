@@ -73,7 +73,8 @@ void printBreakdown(const char* dataset, const tensor::CooTensor& t,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cstf::bench::initBenchArgs(argc, argv);
   bench::printHeader(strprintf(
       "Figure 4: remote/local shuffle reads per CP-ALS iteration, "
       "8 nodes (R=2, scale %.2f)",

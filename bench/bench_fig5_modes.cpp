@@ -31,7 +31,8 @@ std::vector<double> perModeTimes(Backend b, const tensor::CooTensor& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cstf::bench::initBenchArgs(argc, argv);
   bench::printHeader(strprintf(
       "Figure 5: per-mode MTTKRP runtime, 3rd-order CP-ALS on 4 nodes "
       "(R=2, scale %.2f)",

@@ -25,13 +25,16 @@ sparkle::MetricsTotals totalsAfter(Backend b, const tensor::CooTensor& t,
   o.maxIterations = iters;
   o.backend = b;
   o.computeFit = false;
-  cstf_core::cpAls(ctx, t, o);
+  bench::RunArtifacts artifacts(ctx);
+  auto res = cstf_core::cpAls(ctx, t, o);
+  artifacts.write(&res.report);
   return ctx.metrics().totals();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cstf::bench::initBenchArgs(argc, argv);
   bench::printHeader(
       "Order-5 CP-ALS: validating the paper's section-5 analysis (8 nodes)");
 

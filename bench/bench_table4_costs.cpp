@@ -65,7 +65,8 @@ Measured measureOneMttkrp(Backend b, const tensor::CooTensor& t,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cstf::bench::initBenchArgs(argc, argv);
   const std::size_t rank = 2;
   const tensor::CooTensor t =
       tensor::paperAnalog("synt3d-s", bench::benchScale());

@@ -9,7 +9,8 @@
 #include "common/strings.hpp"
 #include "tensor/generator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  cstf::bench::initBenchArgs(argc, argv);
   using namespace cstf;
   bench::printHeader("Table 5: Summary of datasets (synthetic analogs, scale " +
                      strprintf("%.2f", bench::benchScale()) + " of the 1/1000-paper analogs)");

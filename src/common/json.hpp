@@ -1,0 +1,110 @@
+// Minimal streaming JSON writer (no external deps; GCC 12 only).
+//
+// Produces compact, valid JSON for the observability artifacts — Chrome
+// traces and run reports. The writer trusts its caller to emit a
+// well-formed sequence (beginObject/key/value/endObject); it only handles
+// comma placement and string escaping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/strings.hpp"
+
+namespace cstf {
+
+/// Escape `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes added).
+inline std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strprintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON number token for a double; non-finite values (not representable in
+/// JSON) degrade to null.
+inline std::string jsonNumber(double v) {
+  if (v != v || v > 1.7e308 || v < -1.7e308) return "null";
+  return strprintf("%.17g", v);
+}
+
+class JsonWriter {
+ public:
+  void beginObject() {
+    sep();
+    buf_ += '{';
+    needComma_ = false;
+  }
+  void endObject() {
+    buf_ += '}';
+    needComma_ = true;
+  }
+  void beginArray() {
+    sep();
+    buf_ += '[';
+    needComma_ = false;
+  }
+  void endArray() {
+    buf_ += ']';
+    needComma_ = true;
+  }
+
+  void key(std::string_view k) {
+    sep();
+    buf_ += '"';
+    buf_ += jsonEscape(k);
+    buf_ += "\":";
+    needComma_ = false;
+  }
+
+  void value(std::string_view s) { raw('"' + jsonEscape(s) + '"'); }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v) { raw(jsonNumber(v)); }
+  void value(std::uint64_t v) { raw(std::to_string(v)); }
+  void value(std::int64_t v) { raw(std::to_string(v)); }
+  void value(int v) { raw(std::to_string(v)); }
+  void value(bool v) { raw(v ? "true" : "false"); }
+  /// Emit a pre-encoded JSON token verbatim (caller guarantees validity).
+  void raw(std::string_view token) {
+    sep();
+    buf_ += token;
+    needComma_ = true;
+  }
+
+  template <typename V>
+  void kv(std::string_view k, V v) {
+    key(k);
+    value(v);
+  }
+
+  const std::string& str() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  void sep() {
+    if (needComma_) buf_ += ',';
+  }
+
+  std::string buf_;
+  bool needComma_ = false;
+};
+
+}  // namespace cstf

@@ -1,14 +1,21 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 
 #include "common/strings.hpp"
+#include "common/trace.hpp"
 
 namespace cstf {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// -1 = not yet initialized from the environment.
+std::atomic<int> g_level{-1};
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -20,19 +27,59 @@ const char* levelName(LogLevel level) {
   }
   return "?";
 }
+
+int parseLevelName(const char* s) {
+  std::string lower;
+  for (const char* p = s; *p != '\0'; ++p) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lower == "debug") return static_cast<int>(LogLevel::kDebug);
+  if (lower == "info") return static_cast<int>(LogLevel::kInfo);
+  if (lower == "warn" || lower == "warning") {
+    return static_cast<int>(LogLevel::kWarn);
+  }
+  if (lower == "error") return static_cast<int>(LogLevel::kError);
+  if (lower == "off" || lower == "none") {
+    return static_cast<int>(LogLevel::kOff);
+  }
+  return static_cast<int>(LogLevel::kWarn);  // default on unrecognized value
+}
+
+/// First call resolves CSTF_LOG_LEVEL; kWarn (the historical default) when
+/// unset. setLogLevel() always wins over the environment.
+int effectiveLevel() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v >= 0) return v;
+  const char* env = std::getenv("CSTF_LOG_LEVEL");
+  const int parsed =
+      env != nullptr ? parseLevelName(env) : static_cast<int>(LogLevel::kWarn);
+  int expected = -1;
+  g_level.compare_exchange_strong(expected, parsed,
+                                  std::memory_order_relaxed);
+  return g_level.load(std::memory_order_relaxed);
+}
+
 }  // namespace
 
 void setLogLevel(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
-LogLevel logLevel() {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
-}
+LogLevel logLevel() { return static_cast<LogLevel>(effectiveLevel()); }
 
 void logMessage(LogLevel level, const std::string& msg) {
-  const std::string line =
-      strprintf("[%s] %s\n", levelName(level), msg.c_str());
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  const std::string line = strprintf(
+      "[%02d:%02d:%02d.%03d] [%s] [t%u] %s\n", tm.tm_hour, tm.tm_min,
+      tm.tm_sec, millis, levelName(level), currentThreadIndex(), msg.c_str());
   std::fwrite(line.data(), 1, line.size(), stderr);
 }
 

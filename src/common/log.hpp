@@ -1,5 +1,10 @@
 // Minimal leveled logger. Benches and examples log at info; the engine logs
 // stage-level events at debug so unit tests stay quiet by default.
+//
+// The initial threshold honors the CSTF_LOG_LEVEL environment variable
+// (debug | info | warn | error | off, case-insensitive); unset or
+// unrecognized values keep the historical default of warn. setLogLevel()
+// overrides the environment.
 #pragma once
 
 #include <string>
@@ -12,7 +17,8 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
-/// Emit one line to stderr as "[LEVEL] msg". Thread-safe (single write call).
+/// Emit one line to stderr as "[HH:MM:SS.mmm] [LEVEL] [tN] msg" where N is
+/// the dense per-thread index. Thread-safe (single write call).
 void logMessage(LogLevel level, const std::string& msg);
 
 }  // namespace cstf

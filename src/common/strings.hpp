@@ -19,4 +19,13 @@ std::string humanBytes(double bytes);
 /// Human-readable duration from seconds, e.g. "1.25 s" / "310 ms".
 std::string humanSeconds(double sec);
 
+/// RFC-4180 CSV field: returned verbatim unless it contains a comma, quote,
+/// or newline, in which case it is double-quoted with internal quotes
+/// doubled.
+std::string csvField(const std::string& s);
+
+/// Write `content` to `path`, replacing any existing file. Returns false
+/// (and logs nothing) on failure — callers report the error.
+bool writeTextFile(const std::string& path, const std::string& content);
+
 }  // namespace cstf

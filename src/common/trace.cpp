@@ -1,0 +1,135 @@
+#include "common/trace.hpp"
+
+#include "common/json.hpp"
+
+namespace cstf {
+
+std::uint32_t currentThreadIndex() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+double TraceRecorder::nowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::recordComplete(
+    std::string name, std::string category, double tsMicros, double durMicros,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'X';
+  e.tsMicros = tsMicros;
+  e.durMicros = durMicros;
+  e.tid = currentThreadIndex();
+  e.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::recordInstant(
+    std::string name, std::string category,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'i';
+  e.tsMicros = nowMicros();
+  e.tid = currentThreadIndex();
+  e.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::string TraceRecorder::toChromeJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter w;
+  w.beginObject();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.beginArray();
+  for (const TraceEvent& e : events_) {
+    w.beginObject();
+    w.kv("name", e.name);
+    w.kv("cat", e.category.empty() ? std::string_view("default")
+                                   : std::string_view(e.category));
+    w.kv("ph", std::string_view(&e.phase, 1));
+    w.kv("ts", e.tsMicros);
+    if (e.phase == 'X') w.kv("dur", e.durMicros);
+    if (e.phase == 'i') w.kv("s", "t");  // thread-scoped instant
+    w.kv("pid", 1);
+    w.kv("tid", std::uint64_t{e.tid});
+    if (!e.args.empty()) {
+      w.key("args");
+      w.beginObject();
+      for (const auto& [k, v] : e.args) {
+        w.key(k);
+        w.raw(v);
+      }
+      w.endObject();
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return w.take();
+}
+
+TraceRecorder& globalTrace() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+TraceSpan::TraceSpan(TraceRecorder& rec, std::string name,
+                     std::string category) {
+  if (!rec.enabled()) return;
+  rec_ = &rec;
+  name_ = std::move(name);
+  category_ = std::move(category);
+  startMicros_ = rec.nowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (rec_ == nullptr) return;
+  rec_->recordComplete(std::move(name_), std::move(category_), startMicros_,
+                       rec_->nowMicros() - startMicros_, std::move(args_));
+}
+
+void TraceSpan::arg(const std::string& key, const std::string& value) {
+  if (rec_ == nullptr) return;
+  args_.emplace_back(key, '"' + jsonEscape(value) + '"');
+}
+
+void TraceSpan::arg(const std::string& key, double value) {
+  if (rec_ == nullptr) return;
+  args_.emplace_back(key, jsonNumber(value));
+}
+
+void TraceSpan::arg(const std::string& key, std::uint64_t value) {
+  if (rec_ == nullptr) return;
+  args_.emplace_back(key, std::to_string(value));
+}
+
+}  // namespace cstf

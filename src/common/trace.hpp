@@ -1,0 +1,116 @@
+// Lightweight span/instant-event tracing.
+//
+// The engine's answer to Spark's event timeline: RAII TraceSpans record
+// nested, monotonically-timestamped intervals (iterations → modes → stages
+// → tasks) into a thread-safe TraceRecorder, exportable as Chrome trace
+// format JSON — loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Recording is off by default and costs one atomic load per span when
+// disabled, so instrumentation can stay in hot engine paths permanently.
+// Enable the process-global recorder (globalTrace().setEnabled(true)) when
+// a --trace-out artifact is requested; tests use private TraceRecorder
+// instances for isolation.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cstf {
+
+/// Small dense id for the calling OS thread (0, 1, 2, ... in first-use
+/// order). Used as the Chrome-trace tid and in log lines.
+std::uint32_t currentThreadIndex();
+
+/// One recorded event. `args` values are pre-encoded JSON tokens (quoted
+/// strings or bare numbers) emitted verbatim by the exporter.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  /// Chrome trace phase: 'X' = complete (has dur), 'i' = instant.
+  char phase = 'X';
+  double tsMicros = 0.0;
+  double durMicros = 0.0;
+  std::uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void setEnabled(bool on) { enabled_.store(on, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Microseconds since this recorder's construction (monotonic clock).
+  double nowMicros() const;
+
+  /// Append a complete ('X') event; no-op while disabled. `args` values
+  /// must be valid JSON tokens (use TraceSpan's arg() helpers, or
+  /// jsonEscape + quotes for strings).
+  void recordComplete(
+      std::string name, std::string category, double tsMicros,
+      double durMicros,
+      std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Append an instant ('i') event at the current time; no-op while
+  /// disabled.
+  void recordInstant(
+      std::string name, std::string category,
+      std::vector<std::pair<std::string, std::string>> args = {});
+
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Chrome trace format: {"traceEvents":[...]} with ts/dur in
+  /// microseconds — the JSON object form, accepted by chrome://tracing and
+  /// Perfetto.
+  std::string toChromeJson() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Process-global recorder; the default sink for engine instrumentation
+/// (Context::trace() points here unless overridden).
+TraceRecorder& globalTrace();
+
+/// RAII span: captures the start time at construction and records one
+/// complete event at destruction. When the recorder is disabled at
+/// construction the span is inert (no strings stored, nothing recorded).
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder& rec, std::string name, std::string category = "");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach a key/value shown in the trace viewer's args pane. No-op on an
+  /// inert span.
+  void arg(const std::string& key, const std::string& value);
+  void arg(const std::string& key, double value);
+  void arg(const std::string& key, std::uint64_t value);
+
+  bool active() const { return rec_ != nullptr; }
+
+ private:
+  TraceRecorder* rec_ = nullptr;  // null when disabled at construction
+  std::string name_;
+  std::string category_;
+  double startMicros_ = 0.0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+}  // namespace cstf

@@ -1,5 +1,6 @@
 #include "cstf/cp_als.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <optional>
@@ -50,6 +51,12 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
   result.factors = randomFactors(dims, opts.rank, opts.seed);
   result.lambda.assign(opts.rank, 1.0);
 
+  result.report.backend = backendName(opts.backend);
+  result.report.rank = opts.rank;
+  result.report.dims = dims;
+  result.report.nnz = X.nnz();
+  result.report.nodes = ctx.config().numNodes;
+
   // Gram cache: recomputed per factor only when that factor updates.
   std::vector<la::Matrix> grams;
   grams.reserve(order);
@@ -73,7 +80,40 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
   for (int iter = 1; iter <= opts.maxIterations; ++iter) {
     const double simBefore = ctx.metrics().simTimeSec();
     const auto wallBefore = std::chrono::steady_clock::now();
+    TraceSpan iterSpan(ctx.trace(), strprintf("iteration-%d", iter),
+                       "cp-als");
     la::Matrix lastMttkrp;
+
+    // Per-mode telemetry: registry-totals deltas between mode boundaries,
+    // so the entries decompose the engine work of the iteration exactly.
+    IterationTelemetry iterTel;
+    iterTel.iteration = iter;
+    sparkle::MetricsTotals modeBase = ctx.metrics().totals();
+    auto modeWall = wallBefore;
+    auto emitModeTelemetry = [&](ModeId n) {
+      const auto now = std::chrono::steady_clock::now();
+      const sparkle::MetricsTotals after = ctx.metrics().totals();
+      ModeTelemetry mt;
+      mt.iteration = iter;
+      mt.mode = int(n) + 1;
+      mt.simTimeSec = after.simTimeSec - modeBase.simTimeSec;
+      mt.wallTimeSec =
+          std::chrono::duration<double>(now - modeWall).count();
+      mt.shuffleRecords = after.shuffleRecords - modeBase.shuffleRecords;
+      mt.shuffleBytesRemote =
+          after.shuffleBytesRemote - modeBase.shuffleBytesRemote;
+      mt.shuffleBytesLocal =
+          after.shuffleBytesLocal - modeBase.shuffleBytesLocal;
+      mt.recordsProcessed =
+          after.recordsProcessed - modeBase.recordsProcessed;
+      mt.flops = after.flops - modeBase.flops;
+      mt.sourceBytesRead = after.sourceBytesRead - modeBase.sourceBytesRead;
+      mt.cacheBytesDeserialized =
+          after.cacheBytesDeserialized - modeBase.cacheBytesDeserialized;
+      iterTel.modes.push_back(mt);
+      modeBase = after;
+      modeWall = now;
+    };
 
     // ALS step for one mode: solve the normal equations against the
     // Hadamard product of the other modes' gram matrices, normalize, and
@@ -98,38 +138,47 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
     };
 
     if (opts.backend == Backend::kDimTree) {
-      // One tree sweep produces all N MTTKRPs with shared partials.
+      // One tree sweep produces all N MTTKRPs with shared partials; tree
+      // work between callbacks is attributed to the mode it feeds.
       dimTreeSweep(X, result.factors,
                    [&](ModeId n, la::Matrix m) {
                      applyUpdate(n, std::move(m));
+                     emitModeTelemetry(n);
                    });
     } else {
       for (ModeId n = 0; n < order; ++n) {
         la::Matrix m;
         {
-          sparkle::ScopedStage scope(ctx.metrics(),
-                                     strprintf("MTTKRP-%d", int(n) + 1));
-          switch (opts.backend) {
-            case Backend::kCoo:
-              m = mttkrpCoo(ctx, Xrdd, dims, result.factors, n, opts.mttkrp);
-              break;
-            case Backend::kQcoo:
-              CSTF_ASSERT(qcoo->nextMode() == n, "QCOO mode schedule broken");
-              m = qcoo->mttkrpNext(result.factors);
-              break;
-            case Backend::kBigtensor:
-              m = mttkrpBigtensor(ctx, Xrdd, dims, result.factors, n,
-                                  opts.mttkrp);
-              break;
-            case Backend::kReference:
-              m = tensor::referenceMttkrp(X, result.factors, n);
-              break;
-            case Backend::kDimTree:
-              CSTF_ASSERT(false, "handled above");
-              break;
+          TraceSpan modeSpan(ctx.trace(), strprintf("MTTKRP-%d", int(n) + 1),
+                             "mode");
+          {
+            sparkle::ScopedStage scope(ctx.metrics(),
+                                       strprintf("MTTKRP-%d", int(n) + 1));
+            switch (opts.backend) {
+              case Backend::kCoo:
+                m = mttkrpCoo(ctx, Xrdd, dims, result.factors, n,
+                              opts.mttkrp);
+                break;
+              case Backend::kQcoo:
+                CSTF_ASSERT(qcoo->nextMode() == n,
+                            "QCOO mode schedule broken");
+                m = qcoo->mttkrpNext(result.factors);
+                break;
+              case Backend::kBigtensor:
+                m = mttkrpBigtensor(ctx, Xrdd, dims, result.factors, n,
+                                    opts.mttkrp);
+                break;
+              case Backend::kReference:
+                m = tensor::referenceMttkrp(X, result.factors, n);
+                break;
+              case Backend::kDimTree:
+                CSTF_ASSERT(false, "handled above");
+                break;
+            }
           }
+          applyUpdate(n, std::move(m));
         }
-        applyUpdate(n, std::move(m));
+        emitModeTelemetry(n);
       }
     }
 
@@ -155,6 +204,23 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
                      backendName(opts.backend), iter, stats.fit,
                      stats.fitDelta, stats.simTimeSec);
     }
+    iterTel.fit = stats.fit;
+    iterTel.fitDelta = stats.fitDelta;
+    iterTel.simTimeSec = stats.simTimeSec;
+    iterTel.wallTimeSec = stats.wallTimeSec;
+    double l2 = 0.0;
+    double lmin = result.lambda.empty() ? 0.0 : result.lambda.front();
+    double lmax = lmin;
+    for (const double l : result.lambda) {
+      l2 += l * l;
+      lmin = std::min(lmin, l);
+      lmax = std::max(lmax, l);
+    }
+    iterTel.lambdaL2 = std::sqrt(l2);
+    iterTel.lambdaMin = lmin;
+    iterTel.lambdaMax = lmax;
+    result.report.iterations.push_back(std::move(iterTel));
+
     result.iterations.push_back(stats);
     if (opts.onIteration) opts.onIteration(stats);
 
@@ -168,6 +234,9 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
   }
 
   result.finalFit = prevFit;
+  result.report.converged = result.converged;
+  result.report.finalFit = result.finalFit;
+  finalizeRunReport(ctx.metrics(), result.report);
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cstf/options.hpp"
+#include "cstf/run_report.hpp"
 #include "la/matrix.hpp"
 #include "sparkle/context.hpp"
 #include "sparkle/dataset.hpp"
@@ -62,6 +63,11 @@ struct CpAlsResult {
   std::vector<la::Matrix> factors;  // columns unit-normalized
   std::vector<double> lambda;       // column weights
   std::vector<CpAlsIterationStats> iterations;
+  /// Structured telemetry: one entry per (iteration, mode), per-stage
+  /// summaries and totals (see run_report.hpp). Always populated; the
+  /// stage list/totals reflect the registry's full contents, so reset the
+  /// registry before cpAls for a single-run report.
+  RunReport report;
   double finalFit = 0.0;
   bool converged = false;
 

@@ -16,3 +16,4 @@
 #include "cstf/mttkrp_qcoo.hpp"    // IWYU pragma: export
 #include "cstf/options.hpp"        // IWYU pragma: export
 #include "cstf/records.hpp"        // IWYU pragma: export
+#include "cstf/run_report.hpp"     // IWYU pragma: export

@@ -1,0 +1,133 @@
+#include "cstf/run_report.hpp"
+
+#include "common/json.hpp"
+
+namespace cstf::cstf_core {
+
+namespace {
+
+void writeTotals(JsonWriter& w, const sparkle::MetricsTotals& t) {
+  w.beginObject();
+  w.kv("stages", std::uint64_t{t.stages});
+  w.kv("shuffleOps", std::uint64_t{t.shuffleOps});
+  w.kv("shuffleRecords", std::uint64_t{t.shuffleRecords});
+  w.kv("shuffleBytesRemote", std::uint64_t{t.shuffleBytesRemote});
+  w.kv("shuffleBytesLocal", std::uint64_t{t.shuffleBytesLocal});
+  w.kv("broadcastBytes", std::uint64_t{t.broadcastBytes});
+  w.kv("recordsProcessed", std::uint64_t{t.recordsProcessed});
+  w.kv("flops", std::uint64_t{t.flops});
+  w.kv("sourceBytesRead", std::uint64_t{t.sourceBytesRead});
+  w.kv("cacheBytesDeserialized", std::uint64_t{t.cacheBytesDeserialized});
+  w.kv("taskRetries", std::uint64_t{t.taskRetries});
+  w.kv("simTimeSec", t.simTimeSec);
+  w.kv("wallTimeSec", t.wallTimeSec);
+  w.endObject();
+}
+
+}  // namespace
+
+void finalizeRunReport(const sparkle::MetricsRegistry& metrics,
+                       RunReport& report) {
+  report.totals = metrics.totals();
+  report.stages.clear();
+  for (const sparkle::StageMetrics& s : metrics.stages()) {
+    StageSummary out;
+    out.stageId = s.stageId;
+    out.scope = s.scope;
+    out.label = s.label;
+    out.kind = sparkle::stageKindName(s.kind);
+    out.shuffleRecords = s.shuffleRecords;
+    out.shuffleBytesRemote = s.shuffleBytesRemote;
+    out.shuffleBytesLocal = s.shuffleBytesLocal;
+    out.taskRetries = s.taskRetries;
+    out.simTimeSec = s.simTimeSec;
+    out.wallTimeSec = s.wallTimeSec;
+    out.skew = sparkle::computeTaskSkew(s.tasks);
+    report.stages.push_back(std::move(out));
+  }
+}
+
+std::string RunReport::toJson() const {
+  JsonWriter w;
+  w.beginObject();
+  w.kv("schema", "cstf-run-report-v1");
+  w.kv("backend", backend);
+  w.kv("rank", std::uint64_t{rank});
+  w.key("dims");
+  w.beginArray();
+  for (const Index d : dims) w.value(std::uint64_t{d});
+  w.endArray();
+  w.kv("nnz", std::uint64_t{nnz});
+  w.kv("nodes", nodes);
+  w.kv("converged", converged);
+  w.kv("finalFit", finalFit);
+
+  w.key("iterations");
+  w.beginArray();
+  for (const IterationTelemetry& it : iterations) {
+    w.beginObject();
+    w.kv("iteration", it.iteration);
+    w.kv("fit", it.fit);
+    w.kv("fitDelta", it.fitDelta);
+    w.kv("lambdaL2", it.lambdaL2);
+    w.kv("lambdaMin", it.lambdaMin);
+    w.kv("lambdaMax", it.lambdaMax);
+    w.kv("simTimeSec", it.simTimeSec);
+    w.kv("wallTimeSec", it.wallTimeSec);
+    w.key("modes");
+    w.beginArray();
+    for (const ModeTelemetry& m : it.modes) {
+      w.beginObject();
+      w.kv("mode", m.mode);
+      w.kv("simTimeSec", m.simTimeSec);
+      w.kv("wallTimeSec", m.wallTimeSec);
+      w.kv("shuffleRecords", std::uint64_t{m.shuffleRecords});
+      w.kv("shuffleBytesRemote", std::uint64_t{m.shuffleBytesRemote});
+      w.kv("shuffleBytesLocal", std::uint64_t{m.shuffleBytesLocal});
+      w.kv("recordsProcessed", std::uint64_t{m.recordsProcessed});
+      w.kv("flops", std::uint64_t{m.flops});
+      w.kv("sourceBytesRead", std::uint64_t{m.sourceBytesRead});
+      w.kv("cacheBytesDeserialized",
+           std::uint64_t{m.cacheBytesDeserialized});
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+
+  w.key("stages");
+  w.beginArray();
+  for (const StageSummary& s : stages) {
+    w.beginObject();
+    w.kv("stageId", std::uint64_t{s.stageId});
+    w.kv("scope", s.scope);
+    w.kv("label", s.label);
+    w.kv("kind", s.kind);
+    w.kv("shuffleRecords", std::uint64_t{s.shuffleRecords});
+    w.kv("shuffleBytesRemote", std::uint64_t{s.shuffleBytesRemote});
+    w.kv("shuffleBytesLocal", std::uint64_t{s.shuffleBytesLocal});
+    w.kv("taskRetries", std::uint64_t{s.taskRetries});
+    w.kv("simTimeSec", s.simTimeSec);
+    w.kv("wallTimeSec", s.wallTimeSec);
+    w.key("skew");
+    w.beginObject();
+    w.kv("tasks", std::uint64_t{s.skew.tasks});
+    w.kv("meanSec", s.skew.meanSec);
+    w.kv("p50Sec", s.skew.p50Sec);
+    w.kv("p95Sec", s.skew.p95Sec);
+    w.kv("maxSec", s.skew.maxSec);
+    w.kv("imbalance", s.skew.imbalance);
+    w.kv("heaviestPartition", std::uint64_t{s.skew.heaviestPartition});
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+
+  w.key("totals");
+  writeTotals(w, totals);
+  w.endObject();
+  return w.take();
+}
+
+}  // namespace cstf::cstf_core

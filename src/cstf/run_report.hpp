@@ -1,0 +1,91 @@
+// Structured run report for a CP-ALS execution.
+//
+// The machine-readable counterpart of the paper's §6 evaluation tables:
+// per-(iteration, mode) telemetry (fit trajectory, λ norms, sim/wall time,
+// shuffle volume, cache traffic), per-stage summaries with task-skew
+// statistics, and run-level totals that match MetricsRegistry::totals()
+// exactly. Serializes to JSON (see tools/README.md for the schema); every
+// bench/figure binary and the CLI can dump one via --report-out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparkle/metrics.hpp"
+
+namespace cstf::cstf_core {
+
+/// Telemetry for one mode update (MTTKRP_n + solve/normalize) of one
+/// iteration, measured as the delta of the registry totals across the
+/// update — so summing mode entries reproduces the in-loop engine work
+/// exactly.
+struct ModeTelemetry {
+  int iteration = 0;
+  int mode = 0;  // 1-based, matching the "MTTKRP-n" metric scopes
+  double simTimeSec = 0.0;
+  double wallTimeSec = 0.0;
+  std::uint64_t shuffleRecords = 0;
+  std::uint64_t shuffleBytesRemote = 0;
+  std::uint64_t shuffleBytesLocal = 0;
+  std::uint64_t recordsProcessed = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t sourceBytesRead = 0;
+  std::uint64_t cacheBytesDeserialized = 0;
+};
+
+struct IterationTelemetry {
+  int iteration = 0;
+  double fit = 0.0;
+  double fitDelta = 0.0;
+  /// Norms of the column-weight vector after the iteration's last update.
+  double lambdaL2 = 0.0;
+  double lambdaMin = 0.0;
+  double lambdaMax = 0.0;
+  double simTimeSec = 0.0;
+  double wallTimeSec = 0.0;
+  std::vector<ModeTelemetry> modes;
+};
+
+/// One registry stage, flattened for the report (shuffle volumes + skew).
+struct StageSummary {
+  std::uint64_t stageId = 0;
+  std::string scope;
+  std::string label;
+  std::string kind;
+  std::uint64_t shuffleRecords = 0;
+  std::uint64_t shuffleBytesRemote = 0;
+  std::uint64_t shuffleBytesLocal = 0;
+  std::uint64_t taskRetries = 0;
+  double simTimeSec = 0.0;
+  double wallTimeSec = 0.0;
+  sparkle::TaskSkewStats skew;
+};
+
+struct RunReport {
+  std::string backend;
+  std::size_t rank = 0;
+  std::vector<Index> dims;
+  std::size_t nnz = 0;
+  int nodes = 0;
+  bool converged = false;
+  double finalFit = 0.0;
+  std::vector<IterationTelemetry> iterations;
+  /// Every stage the registry recorded during the run, in execution order.
+  std::vector<StageSummary> stages;
+  /// Registry totals at the end of the run; per-stage sums in `stages`
+  /// match these exactly.
+  sparkle::MetricsTotals totals;
+
+  std::string toJson() const;
+};
+
+/// Populate `stages` and `totals` from the registry's current contents
+/// (both from the same snapshot, so their sums always agree). Callers
+/// wanting the report restricted to one run should reset the registry
+/// before that run.
+void finalizeRunReport(const sparkle::MetricsRegistry& metrics,
+                       RunReport& report);
+
+}  // namespace cstf::cstf_core

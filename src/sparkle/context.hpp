@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "sparkle/cluster.hpp"
 #include "sparkle/metrics.hpp"
 #include "sparkle/partitioner.hpp"
@@ -40,6 +41,14 @@ class Context {
   cstf::ThreadPool& pool() { return pool_; }
   std::size_t defaultParallelism() const { return defaultParallelism_; }
 
+  /// Span/instant-event sink for this context's execution. Defaults to the
+  /// process-global recorder (disabled unless a trace artifact was
+  /// requested); tests may point it at a private recorder for isolation.
+  TraceRecorder& trace() const { return *trace_; }
+  void setTrace(TraceRecorder* recorder) {
+    trace_ = recorder != nullptr ? recorder : &globalTrace();
+  }
+
   std::uint64_t nextDatasetId() {
     return nextDatasetId_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -61,6 +70,7 @@ class Context {
   MetricsRegistry metrics_;
   cstf::ThreadPool pool_;
   std::size_t defaultParallelism_;
+  TraceRecorder* trace_ = &globalTrace();
   std::atomic<std::uint64_t> nextDatasetId_{1};
 };
 

@@ -71,7 +71,7 @@ void runTaskWithRetries(Context* ctx, std::uint64_t stageId,
       out = tc;
       return;
     }
-    ctx->metrics().noteTaskRetry();
+    ctx->metrics().noteTaskRetry(stageId);
   }
   throw Error(
       "task permanently failed after " + std::to_string(maxAttempts) +

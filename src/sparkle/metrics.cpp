@@ -1,11 +1,60 @@
 #include "sparkle/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "common/strings.hpp"
 
 namespace cstf::sparkle {
+
+const char* stageKindName(StageKind k) {
+  switch (k) {
+    case StageKind::kShuffle: return "shuffle";
+    case StageKind::kResult: return "result";
+    case StageKind::kBroadcast: return "broadcast";
+  }
+  return "?";
+}
+
+TaskSkewStats computeTaskSkew(const std::vector<TaskRecord>& tasks) {
+  TaskSkewStats s;
+  if (tasks.empty()) return s;
+  s.tasks = tasks.size();
+
+  std::vector<double> times;
+  times.reserve(tasks.size());
+  double sum = 0.0;
+  double maxSec = -1.0;
+  for (const TaskRecord& t : tasks) {
+    times.push_back(t.simTimeSec);
+    sum += t.simTimeSec;
+    if (t.simTimeSec > maxSec) {
+      maxSec = t.simTimeSec;
+      s.heaviestPartition = t.partition;
+    }
+  }
+  std::sort(times.begin(), times.end());
+
+  // Nearest-rank percentile: the smallest value with at least p% of tasks
+  // at or below it.
+  auto pct = [&](double p) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(p / 100.0 * double(times.size()))));
+    return times[rank - 1];
+  };
+  s.meanSec = sum / double(times.size());
+  s.p50Sec = pct(50.0);
+  s.p95Sec = pct(95.0);
+  s.maxSec = times.back();
+  if (s.meanSec > 0.0) {
+    s.imbalance = s.maxSec / s.meanSec;
+  } else {
+    // No metered work at all: call it balanced rather than dividing by 0.
+    s.imbalance = s.maxSec > 0.0 ? 0.0 : 1.0;
+  }
+  return s;
+}
 
 void MetricsRegistry::pushScope(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -36,6 +85,12 @@ std::uint64_t MetricsRegistry::nextStageId() {
 std::uint64_t MetricsRegistry::nextShuffleOpId() {
   std::lock_guard<std::mutex> lock(mutex_);
   return nextShuffleOpId_++;
+}
+
+void MetricsRegistry::noteTaskRetry(std::uint64_t stageId) {
+  taskRetries_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++retriesByStage_[stageId];
 }
 
 double MetricsRegistry::computeSecondsOf(const TaskCounters& c) const {
@@ -90,8 +145,12 @@ double MetricsRegistry::record(StageMetrics m, const StageCost& cost) {
       m.scope += part;
     }
   }
-  stages_.push_back(m);
-  return m.simTimeSec;
+  if (const auto it = retriesByStage_.find(m.stageId);
+      it != retriesByStage_.end()) {
+    m.taskRetries = it->second;
+  }
+  stages_.push_back(std::move(m));
+  return stages_.back().simTimeSec;
 }
 
 std::vector<StageMetrics> MetricsRegistry::stages() const {
@@ -104,29 +163,28 @@ std::string MetricsRegistry::toCsv() const {
   std::string out =
       "stage_id,shuffle_op_id,kind,scope,label,records_processed,flops,"
       "source_bytes,shuffle_records,shuffle_bytes_remote,"
-      "shuffle_bytes_local,broadcast_bytes,sim_time_sec,wall_time_sec\n";
-  auto kindName = [](StageKind k) {
-    switch (k) {
-      case StageKind::kShuffle: return "shuffle";
-      case StageKind::kResult: return "result";
-      case StageKind::kBroadcast: return "broadcast";
-    }
-    return "?";
-  };
+      "shuffle_bytes_local,broadcast_bytes,task_retries,sim_time_sec,"
+      "wall_time_sec,tasks,task_p50_sec,task_p95_sec,task_max_sec,"
+      "task_imbalance,heaviest_partition\n";
   for (const auto& s : stages_) {
+    const TaskSkewStats skew = computeTaskSkew(s.tasks);
     out += strprintf(
-        "%llu,%llu,%s,%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.9g,%.9g\n",
+        "%llu,%llu,%s,%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.9g,"
+        "%.9g,%llu,%.9g,%.9g,%.9g,%.9g,%u\n",
         static_cast<unsigned long long>(s.stageId),
-        static_cast<unsigned long long>(s.shuffleOpId), kindName(s.kind),
-        s.scope.c_str(), s.label.c_str(),
+        static_cast<unsigned long long>(s.shuffleOpId), stageKindName(s.kind),
+        csvField(s.scope).c_str(), csvField(s.label).c_str(),
         static_cast<unsigned long long>(s.work.recordsProcessed),
         static_cast<unsigned long long>(s.work.flops),
         static_cast<unsigned long long>(s.work.sourceBytesRead),
         static_cast<unsigned long long>(s.shuffleRecords),
         static_cast<unsigned long long>(s.shuffleBytesRemote),
         static_cast<unsigned long long>(s.shuffleBytesLocal),
-        static_cast<unsigned long long>(s.broadcastBytes), s.simTimeSec,
-        s.wallTimeSec);
+        static_cast<unsigned long long>(s.broadcastBytes),
+        static_cast<unsigned long long>(s.taskRetries), s.simTimeSec,
+        s.wallTimeSec, static_cast<unsigned long long>(skew.tasks),
+        skew.p50Sec, skew.p95Sec, skew.maxSec, skew.imbalance,
+        skew.heaviestPartition);
   }
   return out;
 }
@@ -147,6 +205,9 @@ MetricsTotals MetricsRegistry::totalsLocked(
     t.broadcastBytes += s.broadcastBytes;
     t.recordsProcessed += s.work.recordsProcessed;
     t.flops += s.work.flops;
+    t.sourceBytesRead += s.work.sourceBytesRead;
+    t.cacheBytesDeserialized += s.work.cacheBytesDeserialized;
+    t.taskRetries += s.taskRetries;
     t.simTimeSec += s.simTimeSec;
     t.wallTimeSec += s.wallTimeSec;
   }
@@ -165,6 +226,25 @@ MetricsTotals MetricsRegistry::totalsForScope(
   return totalsLocked(&scopePrefix);
 }
 
+TaskSkewStats MetricsRegistry::skewForStage(std::uint64_t stageId) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& s : stages_) {
+    if (s.stageId == stageId) return computeTaskSkew(s.tasks);
+  }
+  return {};
+}
+
+TaskSkewStats MetricsRegistry::skewForScope(
+    const std::string& scopePrefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TaskRecord> pooled;
+  for (const auto& s : stages_) {
+    if (s.scope.rfind(scopePrefix, 0) != 0) continue;
+    pooled.insert(pooled.end(), s.tasks.begin(), s.tasks.end());
+  }
+  return computeTaskSkew(pooled);
+}
+
 double MetricsRegistry::simTimeSec() const {
   std::lock_guard<std::mutex> lock(mutex_);
   double t = 0.0;
@@ -175,6 +255,7 @@ double MetricsRegistry::simTimeSec() const {
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   stages_.clear();
+  retriesByStage_.clear();
   taskRetries_.store(0, std::memory_order_relaxed);
 }
 

@@ -570,20 +570,36 @@ class Rdd {
       const std::string& label,
       const std::function<void(std::size_t, Block<T>)>& sink) const {
     const auto t0 = std::chrono::steady_clock::now();
+    TraceSpan stageSpan(ctx_->trace(), "result:" + label, "stage");
     ds_->ensureReady();
     const std::size_t nParts = numPartitions();
     const std::uint64_t stageId = ctx_->metrics().nextStageId();
-    std::vector<TaskCounters> counters(nParts);
+    const ClusterConfig& cfg = ctx_->config();
+    std::vector<TaskRecord> tasks(nParts);
     ctx_->pool().parallelFor(nParts, [&](std::size_t p) {
+      TraceRecorder& rec = ctx_->trace();
+      const double traceTs = rec.enabled() ? rec.nowMicros() : 0.0;
+      const auto tt0 = std::chrono::steady_clock::now();
       TaskContext taskResult;
       runTaskWithRetries(ctx_, stageId, p, taskResult, [&](TaskContext& tc) {
         Block<T> block = ds_->partition(p, tc);
         sink(p, std::move(block));
       });
-      counters[p] = taskResult.counters;
+      TaskRecord& task = tasks[p];
+      task.partition = static_cast<std::uint32_t>(p);
+      task.node = static_cast<std::uint32_t>(cfg.nodeOfPartition(p));
+      task.work = taskResult.counters;
+      task.wallTimeSec = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - tt0)
+                             .count();
+      if (rec.enabled()) {
+        rec.recordComplete(
+            "task:" + label + " p" + std::to_string(p), "task", traceTs,
+            rec.nowMicros() - traceTs,
+            {{"records", std::to_string(task.work.recordsProcessed)}});
+      }
     });
 
-    const ClusterConfig& cfg = ctx_->config();
     StageMetrics m;
     m.stageId = stageId;
     m.kind = StageKind::kResult;
@@ -591,8 +607,9 @@ class Rdd {
     StageCost cost;
     cost.nodeComputeSec.assign(cfg.numNodes, 0.0);
     for (std::size_t p = 0; p < nParts; ++p) {
-      m.work += counters[p];
-      const double sec = ctx_->metrics().computeSecondsOf(counters[p]);
+      m.work += tasks[p].work;
+      const double sec = ctx_->metrics().computeSecondsOf(tasks[p].work);
+      tasks[p].simTimeSec = sec;
       cost.maxTaskSec = std::max(cost.maxTaskSec, sec);
       cost.nodeComputeSec[cfg.nodeOfPartition(p)] += sec;
     }
@@ -601,6 +618,11 @@ class Rdd {
     m.wallTimeSec =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    if (stageSpan.active()) {
+      stageSpan.arg("tasks", std::uint64_t{nParts});
+      stageSpan.arg("records", m.work.recordsProcessed);
+    }
+    m.tasks = std::move(tasks);
     ctx_->metrics().record(std::move(m), cost);
   }
 

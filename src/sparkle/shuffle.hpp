@@ -84,10 +84,15 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
     const std::size_t pIn = parent_->numPartitions();
     const std::size_t pOut = partitioner_->numPartitions();
     const std::uint64_t stageId = ctx->metrics().nextStageId();
+    TraceSpan stageSpan(ctx->trace(), "shuffle:" + label_, "stage");
 
     // ---- map side ----
     std::vector<MapOutput> mapOut(pIn);
+    std::vector<TaskRecord> tasks(pIn);
     ctx->pool().parallelFor(pIn, [&](std::size_t p) {
+      TraceRecorder& rec = ctx->trace();
+      const double traceTs = rec.enabled() ? rec.nowMicros() : 0.0;
+      const auto tt0 = std::chrono::steady_clock::now();
       TaskContext taskResult;
       runTaskWithRetries(ctx, stageId, p, taskResult, [&](TaskContext& tc) {
       Block<Rec> in = parent_->partition(p, tc);
@@ -128,6 +133,29 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
       }
       out.counters = tc.counters;
       });
+      // Per-task shuffle output: the same formula the fetch side meters per
+      // (source, destination) block, so task bytes sum exactly to the
+      // stage's remote+local total.
+      TaskRecord& task = tasks[p];
+      task.partition = static_cast<std::uint32_t>(p);
+      task.node = static_cast<std::uint32_t>(cfg.nodeOfPartition(p));
+      task.work = taskResult.counters;
+      for (std::size_t q = 0; q < pOut; ++q) {
+        const std::uint64_t records = mapOut[p].bucketRecords[q];
+        task.shuffleBytesOut +=
+            mapOut[p].buckets[q].size() + records * cfg.recordEnvelopeBytes +
+            (records > 0 ? cfg.shuffleBlockOverheadBytes : 0);
+      }
+      task.wallTimeSec = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - tt0)
+                             .count();
+      if (rec.enabled()) {
+        rec.recordComplete(
+            "task:" + label_ + " p" + std::to_string(p), "task", traceTs,
+            rec.nowMicros() - traceTs,
+            {{"records", std::to_string(task.work.recordsProcessed)},
+             {"shuffleBytesOut", std::to_string(task.shuffleBytesOut)}});
+      }
     });
 
     // ---- reduce-side fetch ----
@@ -184,6 +212,7 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
     for (std::size_t p = 0; p < pIn; ++p) {
       m.work += mapOut[p].counters;
       const double sec = ctx->metrics().computeSecondsOf(mapOut[p].counters);
+      tasks[p].simTimeSec = sec;
       cost.maxTaskSec = std::max(cost.maxTaskSec, sec);
       cost.nodeComputeSec[cfg.nodeOfPartition(p)] += sec;
     }
@@ -199,6 +228,13 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
     m.wallTimeSec =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    if (stageSpan.active()) {
+      stageSpan.arg("tasks", std::uint64_t{pIn});
+      stageSpan.arg("shuffleRecords", m.shuffleRecords);
+      stageSpan.arg("shuffleBytesRemote", m.shuffleBytesRemote);
+      stageSpan.arg("shuffleBytesLocal", m.shuffleBytesLocal);
+    }
+    m.tasks = std::move(tasks);
     ctx->metrics().record(std::move(m), cost);
   }
 

@@ -1,0 +1,170 @@
+#include "common/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/json_check.hpp"
+
+namespace cstf {
+namespace {
+
+TEST(Trace, DisabledRecorderRecordsNothing) {
+  TraceRecorder rec;
+  EXPECT_FALSE(rec.enabled());
+  {
+    TraceSpan span(rec, "ignored", "cat");
+    EXPECT_FALSE(span.active());
+    span.arg("k", 1.0);  // must be a harmless no-op on an inert span
+    rec.recordInstant("also-ignored", "cat");
+  }
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(Trace, SpanRecordsCompleteEventWithDuration) {
+  TraceRecorder rec;
+  rec.setEnabled(true);
+  {
+    TraceSpan span(rec, "work", "test");
+    EXPECT_TRUE(span.active());
+    span.arg("records", std::uint64_t{42});
+    span.arg("label", std::string("hello"));
+    span.arg("seconds", 1.5);
+  }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& e = events[0];
+  EXPECT_EQ(e.name, "work");
+  EXPECT_EQ(e.category, "test");
+  EXPECT_EQ(e.phase, 'X');
+  EXPECT_GE(e.durMicros, 0.0);
+  ASSERT_EQ(e.args.size(), 3u);
+  EXPECT_EQ(e.args[0].first, "records");
+  EXPECT_EQ(e.args[0].second, "42");
+  EXPECT_EQ(e.args[1].second, "\"hello\"");
+  EXPECT_EQ(e.args[2].first, "seconds");
+}
+
+TEST(Trace, NestedSpansAreContainedInTime) {
+  TraceRecorder rec;
+  rec.setEnabled(true);
+  {
+    TraceSpan outer(rec, "outer", "test");
+    {
+      TraceSpan inner(rec, "inner", "test");
+    }
+  }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Destructor order: the inner span is recorded first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  // Chrome nests by time containment per tid: the inner interval must lie
+  // within the outer one.
+  EXPECT_GE(inner.tsMicros, outer.tsMicros);
+  EXPECT_LE(inner.tsMicros + inner.durMicros,
+            outer.tsMicros + outer.durMicros);
+  EXPECT_EQ(inner.tid, outer.tid);
+}
+
+TEST(Trace, SpanBornWhileDisabledStaysInert) {
+  TraceRecorder rec;
+  {
+    TraceSpan span(rec, "born-disabled", "test");
+    rec.setEnabled(true);  // too late for this span
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(Trace, InstantEvents) {
+  TraceRecorder rec;
+  rec.setEnabled(true);
+  rec.recordInstant("marker", "test", {{"n", "7"}});
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, 'i');
+  EXPECT_EQ(events[0].durMicros, 0.0);
+}
+
+TEST(Trace, ConcurrentSpansFromManyThreads) {
+  TraceRecorder rec;
+  rec.setEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span(rec, "w", "mt");
+        span.arg("i", std::uint64_t(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rec.size(), std::size_t(kThreads) * kSpansPerThread);
+
+  // Thread ids must be dense small indices, and every event well-formed.
+  for (const TraceEvent& e : rec.events()) {
+    EXPECT_LT(e.tid, 1024u);
+    EXPECT_EQ(e.name, "w");
+  }
+  EXPECT_TRUE(testsupport::isValidJson(rec.toChromeJson()));
+}
+
+TEST(Trace, ChromeJsonShape) {
+  TraceRecorder rec;
+  rec.setEnabled(true);
+  {
+    TraceSpan span(rec, "stage-1", "stage");
+    span.arg("tasks", std::uint64_t{4});
+  }
+  rec.recordInstant("tick", "");
+  const std::string json = rec.toChromeJson();
+  EXPECT_TRUE(testsupport::isValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stage-1\""), std::string::npos);
+  // Empty category falls back to a viewer-friendly default.
+  EXPECT_NE(json.find("\"cat\":\"default\""), std::string::npos);
+}
+
+TEST(Trace, JsonEscapesHostileNames) {
+  TraceRecorder rec;
+  rec.setEnabled(true);
+  {
+    TraceSpan span(rec, "we\"ird\\name\nwith\tcontrol", "c,at");
+    span.arg("k\"ey", std::string("v\\alue"));
+  }
+  const std::string json = rec.toChromeJson();
+  EXPECT_TRUE(testsupport::isValidJson(json)) << json;
+}
+
+TEST(Trace, ClearEmptiesTheRecorder) {
+  TraceRecorder rec;
+  rec.setEnabled(true);
+  { TraceSpan span(rec, "a", "b"); }
+  EXPECT_EQ(rec.size(), 1u);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_TRUE(testsupport::isValidJson(rec.toChromeJson()));
+}
+
+TEST(Trace, CurrentThreadIndexIsStablePerThread) {
+  const std::uint32_t here = currentThreadIndex();
+  EXPECT_EQ(currentThreadIndex(), here);
+  std::uint32_t other = here;
+  std::thread([&other] { other = currentThreadIndex(); }).join();
+  EXPECT_NE(other, here);
+}
+
+}  // namespace
+}  // namespace cstf

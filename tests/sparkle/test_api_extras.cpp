@@ -119,8 +119,9 @@ TEST(ApiExtras, MetricsCsvHasHeaderAndRows) {
   }
   EXPECT_EQ(rows, ctx.metrics().stages().size());
   EXPECT_GE(scoped, 1u);
-  // Column count is stable: 13 commas per row.
-  EXPECT_EQ(std::count(header.begin(), header.end(), ','), 13);
+  // Column count is stable: 20 commas per row (14 base columns + retries +
+  // 6 task-skew columns).
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','), 20);
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+// Per-partition task records, skew statistics, and the metrics CSV.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sparkle/sparkle.hpp"
+
+namespace cstf::sparkle {
+namespace {
+
+using KV = std::pair<std::uint32_t, double>;
+
+ClusterConfig cfgNodes(int nodes, double failureRate = 0.0) {
+  ClusterConfig cfg;
+  cfg.numNodes = nodes;
+  cfg.coresPerNode = 2;
+  cfg.taskFailureRate = failureRate;
+  return cfg;
+}
+
+std::vector<KV> uniformData(std::uint32_t n) {
+  std::vector<KV> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back({i, double(i)});
+  return v;
+}
+
+/// Every record carries the same key: after partitionBy, one partition
+/// holds everything — the canonical skew scenario.
+std::vector<KV> constantKeyData(std::uint32_t n) {
+  std::vector<KV> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back({7, double(i)});
+  return v;
+}
+
+const StageMetrics* findStage(const std::vector<StageMetrics>& stages,
+                              StageKind kind, const std::string& label) {
+  for (const auto& s : stages) {
+    if (s.kind == kind && s.label == label) return &s;
+  }
+  return nullptr;
+}
+
+TEST(TaskRecords, ResultStageRecordsOneTaskPerPartition) {
+  Context ctx(cfgNodes(4), 2);
+  parallelize(ctx, uniformData(100), 4).collect();
+
+  const auto stages = ctx.metrics().stages();
+  const StageMetrics* s = findStage(stages, StageKind::kResult, "collect");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->tasks.size(), 4u);
+  std::uint64_t records = 0;
+  for (std::size_t p = 0; p < s->tasks.size(); ++p) {
+    EXPECT_EQ(s->tasks[p].partition, p);
+    EXPECT_EQ(s->tasks[p].node, std::uint32_t(ctx.config().nodeOfPartition(p)));
+    EXPECT_GE(s->tasks[p].wallTimeSec, 0.0);
+    records += s->tasks[p].work.recordsProcessed;
+  }
+  EXPECT_EQ(records, s->work.recordsProcessed);
+  EXPECT_GT(records, 0u);
+}
+
+TEST(TaskRecords, MapTaskShuffleBytesSumToStageTotals) {
+  Context ctx(cfgNodes(4), 2);
+  parallelize(ctx, uniformData(500), 8)
+      .partitionBy(ctx.hashPartitioner(8))
+      .materialize();
+
+  const auto stages = ctx.metrics().stages();
+  const StageMetrics* s = nullptr;
+  for (const auto& st : stages) {
+    if (st.kind == StageKind::kShuffle) s = &st;
+  }
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->tasks.size(), 8u);
+  std::uint64_t taskBytes = 0;
+  for (const auto& t : s->tasks) taskBytes += t.shuffleBytesOut;
+  EXPECT_EQ(taskBytes, s->shuffleBytesRemote + s->shuffleBytesLocal)
+      << "per-task map output must decompose the stage's shuffle volume";
+}
+
+TEST(TaskRecords, SkewedPartitioningShowsUpInSkewStats) {
+  Context ctx(cfgNodes(4), 2);
+  // All 800 records hash to one of 8 partitions; the downstream stage has
+  // one heavy task and seven idle ones.
+  parallelize(ctx, constantKeyData(800), 8)
+      .partitionBy(ctx.hashPartitioner(8))
+      .mapValues([](const double& v) { return v * 2.0; })
+      .count();
+
+  const auto stages = ctx.metrics().stages();
+  const StageMetrics* s = findStage(stages, StageKind::kResult, "count");
+  ASSERT_NE(s, nullptr);
+  const TaskSkewStats skew = computeTaskSkew(s->tasks);
+  EXPECT_EQ(skew.tasks, 8u);
+  EXPECT_GT(skew.maxSec, 0.0);
+  // One task carries everything: max/mean approaches the partition count.
+  EXPECT_GE(skew.imbalance, 2.0);
+  EXPECT_GE(skew.p95Sec, skew.p50Sec);
+  EXPECT_GE(skew.maxSec, skew.p95Sec);
+  // The heaviest partition is the one all keys hashed to.
+  EXPECT_EQ(s->tasks[skew.heaviestPartition].work.recordsProcessed, 800u);
+
+  // Same numbers via the registry lookups.
+  EXPECT_DOUBLE_EQ(ctx.metrics().skewForStage(s->stageId).imbalance,
+                   skew.imbalance);
+}
+
+TEST(TaskRecords, BalancedStageHasLowImbalance) {
+  Context ctx(cfgNodes(4), 2);
+  parallelize(ctx, uniformData(800), 8)
+      .mapValues([](const double& v) { return v + 1.0; })
+      .count();
+  const auto stages = ctx.metrics().stages();
+  const StageMetrics* s = findStage(stages, StageKind::kResult, "count");
+  ASSERT_NE(s, nullptr);
+  const TaskSkewStats skew = computeTaskSkew(s->tasks);
+  EXPECT_GE(skew.imbalance, 1.0);
+  EXPECT_LT(skew.imbalance, 1.5)
+      << "uniform data over equal partitions must be nearly balanced";
+}
+
+TEST(TaskRecords, SkewForScopePoolsTasksAcrossStages) {
+  Context ctx(cfgNodes(4), 2);
+  {
+    ScopedStage scope(ctx.metrics(), "phase-a");
+    parallelize(ctx, uniformData(100), 4).count();
+    parallelize(ctx, uniformData(100), 4).count();
+  }
+  const TaskSkewStats skew = ctx.metrics().skewForScope("phase-a");
+  EXPECT_EQ(skew.tasks, 8u);
+  EXPECT_EQ(ctx.metrics().skewForScope("no-such-scope").tasks, 0u);
+}
+
+TEST(TaskRecords, ComputeTaskSkewEdgeCases) {
+  EXPECT_EQ(computeTaskSkew({}).tasks, 0u);
+  EXPECT_DOUBLE_EQ(computeTaskSkew({}).imbalance, 0.0);
+
+  // All-zero work: balanced by definition, not a division by zero.
+  std::vector<TaskRecord> idle(4);
+  for (std::uint32_t p = 0; p < 4; ++p) idle[p].partition = p;
+  const TaskSkewStats z = computeTaskSkew(idle);
+  EXPECT_EQ(z.tasks, 4u);
+  EXPECT_DOUBLE_EQ(z.imbalance, 1.0);
+
+  std::vector<TaskRecord> two(2);
+  two[0].partition = 0;
+  two[0].simTimeSec = 1.0;
+  two[1].partition = 1;
+  two[1].simTimeSec = 3.0;
+  const TaskSkewStats s = computeTaskSkew(two);
+  EXPECT_DOUBLE_EQ(s.meanSec, 2.0);
+  EXPECT_DOUBLE_EQ(s.p50Sec, 1.0);
+  EXPECT_DOUBLE_EQ(s.p95Sec, 3.0);
+  EXPECT_DOUBLE_EQ(s.maxSec, 3.0);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.5);
+  EXPECT_EQ(s.heaviestPartition, 1u);
+}
+
+TEST(TaskRecords, RetriesAreCountedPerStageAndInTotals) {
+  Context ctx(cfgNodes(4, /*failureRate=*/0.3), 2);
+  parallelize(ctx, uniformData(1000), 8)
+      .reduceByKey([](const double& a, const double& b) { return a + b; })
+      .collect();
+
+  const std::uint64_t global = ctx.metrics().taskRetries();
+  EXPECT_GT(global, 0u) << "0.3 failure rate must inject at least one retry";
+  EXPECT_EQ(ctx.metrics().totals().taskRetries, global)
+      << "per-stage retry attribution must add up to the global counter";
+  std::uint64_t perStage = 0;
+  for (const auto& s : ctx.metrics().stages()) perStage += s.taskRetries;
+  EXPECT_EQ(perStage, global);
+}
+
+TEST(MetricsCsv, EscapesScopesAndIncludesRetries) {
+  Context ctx(cfgNodes(2), 2);
+  {
+    ScopedStage scope(ctx.metrics(), "we,ird \"scope\"");
+    parallelize(ctx, uniformData(50), 2).count();
+  }
+  const std::string csv = ctx.metrics().toCsv();
+  EXPECT_NE(csv.find("task_retries"), std::string::npos);
+  EXPECT_NE(csv.find("task_imbalance"), std::string::npos);
+  // RFC-4180: the field is quoted and inner quotes doubled.
+  EXPECT_NE(csv.find("\"we,ird \"\"scope\"\"\""), std::string::npos) << csv;
+}
+
+}  // namespace
+}  // namespace cstf::sparkle

@@ -1,0 +1,176 @@
+// Minimal recursive-descent JSON validator for tests. The repo has no JSON
+// library by design (exporters hand-write their output), so tests validate
+// the emitted documents with this checker instead of parsing them.
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace cstf::testsupport {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  /// True iff the whole input is exactly one valid JSON value (plus
+  /// whitespace).
+  bool valid() {
+    i_ = 0;
+    depth_ = 0;
+    if (!value()) return false;
+    ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t i_ = 0;
+  int depth_ = 0;
+
+  void ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  bool eat(char c) {
+    ws();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(i_, n, word) != 0) return false;
+    i_ += n;
+    return true;
+  }
+
+  bool value() {
+    if (++depth_ > 256) return false;
+    ws();
+    bool ok = false;
+    if (i_ >= s_.size()) {
+      ok = false;
+    } else if (s_[i_] == '{') {
+      ok = object();
+    } else if (s_[i_] == '[') {
+      ok = array();
+    } else if (s_[i_] == '"') {
+      ok = string();
+    } else if (s_[i_] == 't') {
+      ok = literal("true");
+    } else if (s_[i_] == 'f') {
+      ok = literal("false");
+    } else if (s_[i_] == 'n') {
+      ok = literal("null");
+    } else {
+      ok = number();
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    do {
+      ws();
+      if (!string()) return false;
+      if (!eat(':')) return false;
+      if (!value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    if (eat(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+
+  bool string() {
+    if (i_ >= s_.size() || s_[i_] != '"') return false;
+    ++i_;
+    while (i_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[i_]);
+      if (c == '"') {
+        ++i_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control char: must be escaped
+      if (c == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return false;
+        const char e = s_[i_];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (i_ + k >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[i_ + k]))) {
+              return false;
+            }
+          }
+          i_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++i_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && s_[i_] == '-') ++i_;
+    if (i_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[i_]))) {
+      return false;
+    }
+    if (s_[i_] == '0') {
+      ++i_;
+    } else {
+      while (i_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[i_]))) {
+        ++i_;
+      }
+    }
+    if (i_ < s_.size() && s_[i_] == '.') {
+      ++i_;
+      if (i_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[i_]))) {
+        return false;
+      }
+      while (i_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[i_]))) {
+        ++i_;
+      }
+    }
+    if (i_ < s_.size() && (s_[i_] == 'e' || s_[i_] == 'E')) {
+      ++i_;
+      if (i_ < s_.size() && (s_[i_] == '+' || s_[i_] == '-')) ++i_;
+      if (i_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[i_]))) {
+        return false;
+      }
+      while (i_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[i_]))) {
+        ++i_;
+      }
+    }
+    return i_ > start;
+  }
+};
+
+inline bool isValidJson(const std::string& s) {
+  return JsonChecker(s).valid();
+}
+
+}  // namespace cstf::testsupport

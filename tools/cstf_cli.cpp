@@ -17,6 +17,9 @@
 //   --seed S        factor initialization seed (default 7)
 //   --scale X       scale for analog datasets (default 0.2)
 //   --output P      write factors to P.mode<k>.txt and lambda to P.lambda.txt
+//   --trace-out P   write a Chrome-trace JSON (load in Perfetto / about:tracing)
+//   --report-out P  write the structured run report as JSON
+//   --metrics-csv P write per-stage engine metrics as CSV
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,7 +44,8 @@ int usage() {
                "       cstf factor <tensor> [--rank R] [--iters N] [--tol T]\n"
                "                   [--backend coo|qcoo|bigtensor|reference]\n"
                "                   [--nodes N] [--seed S] [--scale X]\n"
-               "                   [--output PREFIX]\n");
+               "                   [--output PREFIX] [--trace-out P]\n"
+               "                   [--report-out P] [--metrics-csv P]\n");
   return 2;
 }
 
@@ -67,6 +71,9 @@ struct Args {
   std::uint64_t seed = 7;
   double scale = 0.2;
   std::string output;
+  std::string traceOut;
+  std::string reportOut;
+  std::string metricsCsv;
 };
 
 bool parseArgs(int argc, char** argv, Args& a) {
@@ -111,6 +118,18 @@ bool parseArgs(int argc, char** argv, Args& a) {
       const char* v = next("--output");
       if (!v) return false;
       a.output = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next("--trace-out");
+      if (!v) return false;
+      a.traceOut = v;
+    } else if (arg == "--report-out") {
+      const char* v = next("--report-out");
+      if (!v) return false;
+      a.reportOut = v;
+    } else if (arg == "--metrics-csv") {
+      const char* v = next("--metrics-csv");
+      if (!v) return false;
+      a.metricsCsv = v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -165,6 +184,7 @@ int cmdFactor(const Args& a, const std::string& spec) {
     cluster.mode = sparkle::ExecutionMode::kHadoop;
   }
   sparkle::Context ctx(cluster);
+  if (!a.traceOut.empty()) ctx.trace().setEnabled(true);
 
   cstf_core::CpAlsOptions opts;
   opts.rank = a.rank;
@@ -191,6 +211,26 @@ int cmdFactor(const Args& a, const std::string& spec) {
               humanBytes(double(m.shuffleBytesRemote)).c_str(),
               humanBytes(double(m.shuffleBytesLocal)).c_str(),
               double(m.flops), humanSeconds(m.simTimeSec).c_str());
+
+  if (!a.traceOut.empty()) {
+    if (!writeTextFile(a.traceOut, ctx.trace().toChromeJson())) {
+      throw Error("cannot write " + a.traceOut);
+    }
+    std::printf("trace written to %s (load in Perfetto)\n",
+                a.traceOut.c_str());
+  }
+  if (!a.reportOut.empty()) {
+    if (!writeTextFile(a.reportOut, result.report.toJson())) {
+      throw Error("cannot write " + a.reportOut);
+    }
+    std::printf("run report written to %s\n", a.reportOut.c_str());
+  }
+  if (!a.metricsCsv.empty()) {
+    if (!writeTextFile(a.metricsCsv, ctx.metrics().toCsv())) {
+      throw Error("cannot write " + a.metricsCsv);
+    }
+    std::printf("stage metrics written to %s\n", a.metricsCsv.c_str());
+  }
 
   if (!a.output.empty()) {
     for (std::size_t k = 0; k < result.factors.size(); ++k) {
