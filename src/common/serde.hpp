@@ -234,6 +234,236 @@ struct Serde<std::string> {
   }
 };
 
+// ---------------------------------------------------------------------------
+// FixedWidthSerde: the shuffle/cache fast path.
+//
+// A type is *fast-path eligible* when its serde encoding can be produced by
+// flat pointer stores into a pre-sized buffer — no Writer, no per-field
+// vector growth — and its encoded width is computable from the value alone
+// (width(v) == Serde<T>::byteSize(v), enforced by tests). Widths may vary
+// per value (a SmallVec encodes its length), so bulk users first sum widths
+// to pre-size the destination, then encode with a moving cursor. When every
+// record in a batch shares one width the batch is *fixed-width* and bucket
+// sizes become records * width — the invariant the shuffle fast path checks
+// before committing to it.
+//
+// encode() MUST emit byte-for-byte the same stream Serde<T>::write would,
+// so fast-encoded and slow-encoded buffers are interchangeable and byte
+// metrics derived from buffer sizes are identical on both paths.
+// ---------------------------------------------------------------------------
+
+template <typename T, typename = void>
+struct FixedWidthSerde {
+  static constexpr bool value = false;
+};
+
+/// Arithmetic types and enums: width is a compile-time constant.
+template <typename T>
+struct FixedWidthSerde<
+    T, std::enable_if_t<std::is_arithmetic_v<T> || std::is_enum_v<T>>> {
+  static constexpr bool value = true;
+  static constexpr std::size_t kStaticWidth = sizeof(T);
+  static std::size_t width(const T&) { return sizeof(T); }
+  static std::uint8_t* encode(std::uint8_t* dst, const T& v) {
+    std::memcpy(dst, &v, sizeof(T));
+    return dst + sizeof(T);
+  }
+  static const std::uint8_t* decode(const std::uint8_t* src, T& out) {
+    std::memcpy(&out, src, sizeof(T));
+    return src + sizeof(T);
+  }
+};
+
+template <typename A, typename B>
+struct FixedWidthSerde<
+    std::pair<A, B>,
+    std::enable_if_t<FixedWidthSerde<A>::value && FixedWidthSerde<B>::value>> {
+  static constexpr bool value = true;
+  static constexpr std::size_t kStaticWidth =
+      (FixedWidthSerde<A>::kStaticWidth != 0 &&
+       FixedWidthSerde<B>::kStaticWidth != 0)
+          ? FixedWidthSerde<A>::kStaticWidth + FixedWidthSerde<B>::kStaticWidth
+          : 0;
+  static std::size_t width(const std::pair<A, B>& v) {
+    return FixedWidthSerde<A>::width(v.first) +
+           FixedWidthSerde<B>::width(v.second);
+  }
+  static std::uint8_t* encode(std::uint8_t* dst, const std::pair<A, B>& v) {
+    dst = FixedWidthSerde<A>::encode(dst, v.first);
+    return FixedWidthSerde<B>::encode(dst, v.second);
+  }
+  static const std::uint8_t* decode(const std::uint8_t* src,
+                                    std::pair<A, B>& out) {
+    src = FixedWidthSerde<A>::decode(src, out.first);
+    return FixedWidthSerde<B>::decode(src, out.second);
+  }
+};
+
+template <typename... Ts>
+struct FixedWidthSerde<std::tuple<Ts...>,
+                       std::enable_if_t<(FixedWidthSerde<Ts>::value && ...)>> {
+  static constexpr bool value = true;
+  static constexpr std::size_t kStaticWidth =
+      ((FixedWidthSerde<Ts>::kStaticWidth != 0) && ...)
+          ? (std::size_t{0} + ... + FixedWidthSerde<Ts>::kStaticWidth)
+          : 0;
+  static std::size_t width(const std::tuple<Ts...>& v) {
+    return std::apply(
+        [](const Ts&... xs) {
+          return (std::size_t{0} + ... + FixedWidthSerde<Ts>::width(xs));
+        },
+        v);
+  }
+  static std::uint8_t* encode(std::uint8_t* dst, const std::tuple<Ts...>& v) {
+    std::apply(
+        [&dst](const Ts&... xs) {
+          ((dst = FixedWidthSerde<Ts>::encode(dst, xs)), ...);
+        },
+        v);
+    return dst;
+  }
+  static const std::uint8_t* decode(const std::uint8_t* src,
+                                    std::tuple<Ts...>& out) {
+    std::apply(
+        [&src](Ts&... xs) {
+          ((src = FixedWidthSerde<Ts>::decode(src, xs)), ...);
+        },
+        out);
+    return src;
+  }
+};
+
+template <typename T, std::size_t N>
+struct FixedWidthSerde<std::array<T, N>,
+                       std::enable_if_t<FixedWidthSerde<T>::value>> {
+  static constexpr bool value = true;
+  static constexpr std::size_t kStaticWidth =
+      FixedWidthSerde<T>::kStaticWidth != 0
+          ? N * FixedWidthSerde<T>::kStaticWidth
+          : 0;
+  static std::size_t width(const std::array<T, N>& v) {
+    std::size_t n = 0;
+    for (const T& x : v) n += FixedWidthSerde<T>::width(x);
+    return n;
+  }
+  static std::uint8_t* encode(std::uint8_t* dst, const std::array<T, N>& v) {
+    for (const T& x : v) dst = FixedWidthSerde<T>::encode(dst, x);
+    return dst;
+  }
+  static const std::uint8_t* decode(const std::uint8_t* src,
+                                    std::array<T, N>& out) {
+    for (std::size_t i = 0; i < N; ++i) {
+      src = FixedWidthSerde<T>::decode(src, out[i]);
+    }
+    return src;
+  }
+};
+
+/// SmallVec encodes its length, so width is value-dependent but still flat.
+/// Elements whose serde encoding equals their memory layout (arithmetic
+/// types: no padding, little-endian host) move as one memcpy of the whole
+/// run — the payload of a factor Row is a single 8R-byte copy.
+template <typename T, std::size_t N>
+struct FixedWidthSerde<SmallVec<T, N>,
+                       std::enable_if_t<FixedWidthSerde<T>::value>> {
+  static constexpr bool value = true;
+  static constexpr std::size_t kStaticWidth = 0;
+  static constexpr bool kRawElements =
+      std::is_trivially_copyable_v<T> &&
+      FixedWidthSerde<T>::kStaticWidth == sizeof(T);
+  static std::size_t width(const SmallVec<T, N>& v) {
+    if constexpr (kRawElements) {
+      return sizeof(std::uint32_t) + v.size() * sizeof(T);
+    } else {
+      std::size_t n = sizeof(std::uint32_t);
+      for (const T& x : v) n += FixedWidthSerde<T>::width(x);
+      return n;
+    }
+  }
+  static std::uint8_t* encode(std::uint8_t* dst, const SmallVec<T, N>& v) {
+    const auto n = static_cast<std::uint32_t>(v.size());
+    std::memcpy(dst, &n, sizeof(n));
+    dst += sizeof(n);
+    if constexpr (kRawElements) {
+      std::memcpy(dst, v.data(), v.size() * sizeof(T));
+      return dst + v.size() * sizeof(T);
+    } else {
+      for (const T& x : v) dst = FixedWidthSerde<T>::encode(dst, x);
+      return dst;
+    }
+  }
+  static const std::uint8_t* decode(const std::uint8_t* src,
+                                    SmallVec<T, N>& out) {
+    std::uint32_t n;
+    std::memcpy(&n, src, sizeof(n));
+    src += sizeof(n);
+    if constexpr (kRawElements) {
+      out.resize(n);
+      std::memcpy(out.data(), src, std::size_t{n} * sizeof(T));
+      return src + std::size_t{n} * sizeof(T);
+    } else {
+      out.clear();
+      out.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        T x;
+        src = FixedWidthSerde<T>::decode(src, x);
+        out.push_back(std::move(x));
+      }
+      return src;
+    }
+  }
+};
+
+/// Append the serde encoding of `recs` to `buf` through the fast path.
+/// Returns false (buf untouched) when T is not fast-path eligible; the
+/// caller falls back to per-record serdeWrite. The buffer grows exactly
+/// once regardless of record count.
+template <typename T>
+bool fixedWidthEncodeAppend(std::vector<std::uint8_t>& buf,
+                            const std::vector<T>& recs) {
+  if constexpr (!FixedWidthSerde<T>::value) {
+    (void)buf;
+    (void)recs;
+    return false;
+  } else {
+    std::size_t total = 0;
+    for (const T& rec : recs) total += FixedWidthSerde<T>::width(rec);
+    const std::size_t base = buf.size();
+    buf.resize(base + total);
+    std::uint8_t* dst = buf.data() + base;
+    for (const T& rec : recs) dst = FixedWidthSerde<T>::encode(dst, rec);
+    CSTF_ASSERT(dst == buf.data() + buf.size(), "fast encode width drift");
+    return true;
+  }
+}
+
+/// Decode a whole serde stream of T records through the fast path into
+/// `out` (appending). Returns false (out untouched) when T is not eligible;
+/// the caller falls back to a Reader loop.
+template <typename T>
+bool fixedWidthDecodeStream(const std::uint8_t* data, std::size_t size,
+                            std::vector<T>& out) {
+  if constexpr (!FixedWidthSerde<T>::value) {
+    (void)data;
+    (void)size;
+    (void)out;
+    return false;
+  } else {
+    if constexpr (FixedWidthSerde<T>::kStaticWidth != 0) {
+      out.reserve(out.size() + size / FixedWidthSerde<T>::kStaticWidth);
+    }
+    const std::uint8_t* src = data;
+    const std::uint8_t* end = data + size;
+    while (src < end) {
+      T rec;
+      src = FixedWidthSerde<T>::decode(src, rec);
+      CSTF_ASSERT(src <= end, "fast decode overran buffer");
+      out.push_back(std::move(rec));
+    }
+    return true;
+  }
+}
+
 /// Convenience helpers.
 template <typename T>
 void serdeWrite(std::vector<std::uint8_t>& buf, const T& v) {

@@ -38,11 +38,10 @@ void ThreadPool::workerLoop() {
   }
 }
 
-void ThreadPool::parallelFor(std::size_t n,
-                             const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallelForImpl(std::size_t n, IndexFn fn, void* ctx) {
   if (n == 0) return;
   if (n == 1) {  // avoid queueing overhead for singleton stages
-    fn(0);
+    fn(ctx, 0);
     return;
   }
 
@@ -57,13 +56,13 @@ void ThreadPool::parallelFor(std::size_t n,
   auto shared = std::make_shared<Shared>();
   shared->total = n;
 
-  auto body = [shared, &fn] {
+  auto body = [shared, fn, ctx] {
     for (;;) {
       const std::size_t i =
           shared->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= shared->total) break;
       try {
-        fn(i);
+        fn(ctx, i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(shared->m);
         if (!shared->error) shared->error = std::current_exception();

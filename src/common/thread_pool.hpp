@@ -10,9 +10,11 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace cstf {
@@ -30,9 +32,23 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, n) across the pool; blocks until all complete.
   /// Rethrows the first captured exception, after all tasks finish.
-  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// Dispatches through a non-owning callable ref, so the engine's
+  /// many-small-stages hot path never allocates a std::function per stage.
+  template <typename F>
+  void parallelFor(std::size_t n, F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    parallelForImpl(
+        n,
+        [](void* ctx, std::size_t i) { (*static_cast<Fn*>(ctx))(i); },
+        const_cast<std::remove_const_t<Fn>*>(std::addressof(fn)));
+  }
 
  private:
+  /// Type-erased, non-owning view of the loop body; valid only for the
+  /// duration of parallelForImpl (which blocks until all items finish).
+  using IndexFn = void (*)(void* ctx, std::size_t i);
+
+  void parallelForImpl(std::size_t n, IndexFn fn, void* ctx);
   void workerLoop();
 
   std::vector<std::thread> workers_;

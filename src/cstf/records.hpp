@@ -61,3 +61,50 @@ struct QRecord {
 };
 
 }  // namespace cstf::cstf_core
+
+namespace cstf {
+
+/// Shuffle fast path for the in-flight COO record: Nonzero + Row, both
+/// flat-encodable. Width is constant across a dataset (fixed order, fixed
+/// rank), which the shuffle verifies per map task before bulk-encoding.
+template <>
+struct FixedWidthSerde<cstf_core::Carry> {
+  static constexpr bool value = true;
+  static constexpr std::size_t kStaticWidth = 0;
+  static std::size_t width(const cstf_core::Carry& v) {
+    return FixedWidthSerde<tensor::Nonzero>::width(v.nz) +
+           FixedWidthSerde<la::Row>::width(v.partial);
+  }
+  static std::uint8_t* encode(std::uint8_t* dst, const cstf_core::Carry& v) {
+    dst = FixedWidthSerde<tensor::Nonzero>::encode(dst, v.nz);
+    return FixedWidthSerde<la::Row>::encode(dst, v.partial);
+  }
+  static const std::uint8_t* decode(const std::uint8_t* src,
+                                    cstf_core::Carry& out) {
+    src = FixedWidthSerde<tensor::Nonzero>::decode(src, out.nz);
+    return FixedWidthSerde<la::Row>::decode(src, out.partial);
+  }
+};
+
+/// Shuffle fast path for the QCOO record: Nonzero + queue of Rows.
+template <>
+struct FixedWidthSerde<cstf_core::QRecord> {
+  static constexpr bool value = true;
+  static constexpr std::size_t kStaticWidth = 0;
+  using QueueSerde = FixedWidthSerde<SmallVec<la::Row, 4>>;
+  static std::size_t width(const cstf_core::QRecord& v) {
+    return FixedWidthSerde<tensor::Nonzero>::width(v.nz) +
+           QueueSerde::width(v.queue);
+  }
+  static std::uint8_t* encode(std::uint8_t* dst, const cstf_core::QRecord& v) {
+    dst = FixedWidthSerde<tensor::Nonzero>::encode(dst, v.nz);
+    return QueueSerde::encode(dst, v.queue);
+  }
+  static const std::uint8_t* decode(const std::uint8_t* src,
+                                    cstf_core::QRecord& out) {
+    src = FixedWidthSerde<tensor::Nonzero>::decode(src, out.nz);
+    return QueueSerde::decode(src, out.queue);
+  }
+};
+
+}  // namespace cstf

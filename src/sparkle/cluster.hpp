@@ -82,6 +82,14 @@ struct ClusterConfig {
   /// analysis of its Table 4 predicts ~33% from stream counts alone.
   std::size_t recordEnvelopeBytes = 48;
 
+  /// Shuffle map tasks whose records are fast-path eligible
+  /// (FixedWidthSerde) encode by bulk stores into pooled, pre-sized buffers
+  /// and reduce tasks bulk-decode with one reserve. Byte metrics are
+  /// identical on both paths (the encodings are byte-for-byte the same);
+  /// this switch exists so tests and A/B benchmarks can force the
+  /// per-record Writer/Reader slow path.
+  bool enableShuffleFastPath = true;
+
   /// Probability that any task attempt fails after doing its work (the
   /// "executor lost" case). Failed attempts are retried, recomputing from
   /// lineage exactly as Spark/Hadoop do — the fault-tolerance property

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/buffer_pool.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "sparkle/cluster.hpp"
@@ -39,6 +40,9 @@ class Context {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   cstf::ThreadPool& pool() { return pool_; }
+  /// Recycles shuffle map-output buckets (and scratch) across stages, so
+  /// steady-state iterations allocate almost nothing on the shuffle path.
+  cstf::BufferPool& bufferPool() { return bufferPool_; }
   std::size_t defaultParallelism() const { return defaultParallelism_; }
 
   /// Span/instant-event sink for this context's execution. Defaults to the
@@ -69,6 +73,7 @@ class Context {
   ClusterConfig config_;
   MetricsRegistry metrics_;
   cstf::ThreadPool pool_;
+  cstf::BufferPool bufferPool_;
   std::size_t defaultParallelism_;
   TraceRecorder* trace_ = &globalTrace();
   std::atomic<std::uint64_t> nextDatasetId_{1};

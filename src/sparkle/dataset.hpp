@@ -165,15 +165,21 @@ class Dataset : public DatasetBase {
         }
         if (bytes) {
           // Every hit decodes the whole partition (Spark MEMORY_ONLY_SER).
+          // Fast-path-eligible element types bulk-decode without a Reader;
+          // the byte stream is identical either way.
           std::vector<T> recs;
-          Reader r(bytes->data(), bytes->size());
-          while (!r.exhausted()) recs.push_back(serdeRead<T>(r));
+          if (!fixedWidthDecodeStream(bytes->data(), bytes->size(), recs)) {
+            Reader r(bytes->data(), bytes->size());
+            while (!r.exhausted()) recs.push_back(serdeRead<T>(r));
+          }
           tc.counters.cacheBytesDeserialized += bytes->size();
           return makeBlock(std::move(recs));
         }
         Block<T> block = computePartition(p, tc);
         auto buf = std::make_shared<std::vector<std::uint8_t>>();
-        for (const T& rec : *block) serdeWrite(*buf, rec);
+        if (!fixedWidthEncodeAppend(*buf, *block)) {
+          for (const T& rec : *block) serdeWrite(*buf, rec);
+        }
         std::lock_guard<std::mutex> lock(cacheMutex_);
         if (serCache_.size() != numPartitions_) {
           serCache_.resize(numPartitions_);

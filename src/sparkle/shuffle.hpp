@@ -71,11 +71,80 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
 
  private:
   struct MapOutput {
-    // One serialized bucket per destination partition.
+    // One serialized bucket per destination partition. Buckets hold exact
+    // serde bytes on both encode paths, and return to the context's
+    // BufferPool once the reduce side has consumed them.
     std::vector<std::vector<std::uint8_t>> buckets;
     std::vector<std::uint32_t> bucketRecords;
     TaskCounters counters;
   };
+
+  /// Fast path: pre-count records per destination, acquire exact-size
+  /// pooled buckets, and encode by bulk stores. Requires every record to
+  /// share one serde width (checked; the common case for COO/QCOO batches
+  /// of fixed order and rank). Returns false — leaving `out` untouched —
+  /// when widths diverge; the caller falls back to serdeWrite.
+  bool fastBucket(const std::vector<Rec>& recs, std::size_t pOut,
+                  MapOutput& out) {
+    if constexpr (!FixedWidthSerde<Rec>::value) {
+      (void)recs;
+      (void)pOut;
+      (void)out;
+      return false;
+    } else {
+      Context* ctx = this->context();
+      if (recs.empty()) return true;
+      const std::size_t w = FixedWidthSerde<Rec>::width(recs.front());
+      // Destination scratch lives in pooled bytes so steady-state
+      // iterations reuse it instead of reallocating per task.
+      std::vector<std::uint8_t> dstScratch =
+          ctx->bufferPool().acquire(recs.size() * sizeof(std::uint32_t));
+      dstScratch.resize(recs.size() * sizeof(std::uint32_t));
+      auto* dst = reinterpret_cast<std::uint32_t*>(dstScratch.data());
+      std::vector<std::uint32_t> counts(pOut, 0);
+      for (std::size_t i = 0; i < recs.size(); ++i) {
+        if constexpr (FixedWidthSerde<Rec>::kStaticWidth == 0) {
+          if (FixedWidthSerde<Rec>::width(recs[i]) != w) {
+            ctx->bufferPool().release(std::move(dstScratch));
+            return false;
+          }
+        }
+        const auto d = static_cast<std::uint32_t>(
+            partitioner_->partitionOf(KeyHash<K>{}(recs[i].first)));
+        dst[i] = d;
+        ++counts[d];
+      }
+      std::vector<std::uint8_t*> cursor(pOut, nullptr);
+      for (std::size_t q = 0; q < pOut; ++q) {
+        out.bucketRecords[q] = counts[q];
+        if (counts[q] == 0) continue;
+        out.buckets[q] = ctx->bufferPool().acquire(counts[q] * w);
+        out.buckets[q].resize(counts[q] * w);
+        cursor[q] = out.buckets[q].data();
+      }
+      for (std::size_t i = 0; i < recs.size(); ++i) {
+        cursor[dst[i]] = FixedWidthSerde<Rec>::encode(cursor[dst[i]], recs[i]);
+      }
+      ctx->bufferPool().release(std::move(dstScratch));
+      return true;
+    }
+  }
+
+  void slowBucket(const std::vector<Rec>& recs, MapOutput& out) {
+    for (const Rec& rec : recs) {
+      const std::size_t d = partitioner_->partitionOf(KeyHash<K>{}(rec.first));
+      serdeWrite(out.buckets[d], rec);
+      ++out.bucketRecords[d];
+    }
+  }
+
+  void bucketRecords(const std::vector<Rec>& recs, std::size_t pOut,
+                     MapOutput& out) {
+    if (!this->context()->config().enableShuffleFastPath ||
+        !fastBucket(recs, pOut, out)) {
+      slowBucket(recs, out);
+    }
+  }
 
   void materialize() {
     const auto t0 = std::chrono::steady_clock::now();
@@ -101,13 +170,6 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
       out.buckets.assign(pOut, {});  // reset fully: the task may be a retry
       out.bucketRecords.assign(pOut, 0);
 
-      auto emit = [&](const Rec& rec) {
-        const std::size_t dst =
-            partitioner_->partitionOf(KeyHash<K>{}(rec.first));
-        serdeWrite(out.buckets[dst], rec);
-        ++out.bucketRecords[dst];
-      };
-
       if (combiner_) {
         std::unordered_map<K, V, StdKeyHash<K>> combined;
         combined.reserve(in->size());
@@ -122,13 +184,14 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
         }
         tc.counters.flops +=
             static_cast<std::uint64_t>(combinerFlopsPerMerge_ * merges);
-        for (const auto& kv : combined) emit(kv);
-        tc.counters.recordsEmitted += combined.size();
+        std::vector<Rec> shipped;
+        shipped.reserve(combined.size());
+        for (auto& kv : combined) shipped.emplace_back(std::move(kv));
+        bucketRecords(shipped, pOut, out);
+        tc.counters.recordsEmitted += shipped.size();
       } else {
-        for (const Rec& rec : *in) {
-          emit(rec);
-          ++tc.counters.recordsProcessed;
-        }
+        bucketRecords(*in, pOut, out);
+        tc.counters.recordsProcessed += in->size();
         tc.counters.recordsEmitted += in->size();
       }
       out.counters = tc.counters;
@@ -159,23 +222,30 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
     });
 
     // ---- reduce-side fetch ----
+    // Each task writes only its own slot of the per-partition aggregate
+    // arrays; the single-threaded fold below replaces the old global
+    // aggMutex that serialized every task's updates.
     blocks_.resize(pOut);
-    std::vector<std::uint64_t> nodeRemoteIn(cfg.numNodes, 0);
-    std::uint64_t totalRemote = 0;
-    std::uint64_t totalLocal = 0;
-    std::uint64_t totalRecords = 0;
-    std::uint64_t totalBytes = 0;
-    std::mutex aggMutex;
+    std::vector<std::uint64_t> remoteByDst(pOut, 0);
+    std::vector<std::uint64_t> localByDst(pOut, 0);
+    std::vector<std::uint64_t> recordsByDst(pOut, 0);
 
     ctx->pool().parallelFor(pOut, [&](std::size_t q) {
       const int dstNode = cfg.nodeOfPartition(q);
-      std::vector<Rec> recs;
       std::uint64_t remote = 0;
       std::uint64_t local = 0;
       std::uint64_t nrec = 0;
       for (std::size_t p = 0; p < pIn; ++p) {
-        const auto& bucket = mapOut[p].buckets[q];
+        nrec += mapOut[p].bucketRecords[q];
+      }
+      std::vector<Rec> recs;
+      recs.reserve(nrec);
+      for (std::size_t p = 0; p < pIn; ++p) {
+        auto& bucket = mapOut[p].buckets[q];
         const std::uint64_t records = mapOut[p].bucketRecords[q];
+        // Metered bytes come from the serde size rules (bucket bytes are
+        // exact serde bytes on either encode path), never from how the
+        // transfer was physically performed.
         const std::uint64_t bytes =
             bucket.size() + records * cfg.recordEnvelopeBytes +
             (records > 0 ? cfg.shuffleBlockOverheadBytes : 0);
@@ -184,18 +254,32 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
         } else {
           remote += bytes;
         }
-        nrec += records;
-        Reader r(bucket.data(), bucket.size());
-        while (!r.exhausted()) recs.push_back(serdeRead<Rec>(r));
+        if (!cfg.enableShuffleFastPath ||
+            !fixedWidthDecodeStream(bucket.data(), bucket.size(), recs)) {
+          Reader r(bucket.data(), bucket.size());
+          while (!r.exhausted()) recs.push_back(serdeRead<Rec>(r));
+        }
+        // The bucket is consumed exactly once (by this task): recycle it.
+        ctx->bufferPool().release(std::move(bucket));
       }
       blocks_[q] = makeBlock(std::move(recs));
-      std::lock_guard<std::mutex> lock(aggMutex);
-      nodeRemoteIn[dstNode] += remote;
-      totalRemote += remote;
-      totalLocal += local;
-      totalRecords += nrec;
-      totalBytes += remote + local;
+      remoteByDst[q] = remote;
+      localByDst[q] = local;
+      recordsByDst[q] = nrec;
     });
+
+    std::vector<std::uint64_t> nodeRemoteIn(cfg.numNodes, 0);
+    std::uint64_t totalRemote = 0;
+    std::uint64_t totalLocal = 0;
+    std::uint64_t totalRecords = 0;
+    std::uint64_t totalBytes = 0;
+    for (std::size_t q = 0; q < pOut; ++q) {
+      nodeRemoteIn[cfg.nodeOfPartition(q)] += remoteByDst[q];
+      totalRemote += remoteByDst[q];
+      totalLocal += localByDst[q];
+      totalRecords += recordsByDst[q];
+    }
+    totalBytes = totalRemote + totalLocal;
 
     // ---- metrics ----
     StageMetrics m;

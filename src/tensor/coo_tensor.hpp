@@ -101,3 +101,38 @@ class CooTensor {
 };
 
 }  // namespace cstf::tensor
+
+namespace cstf {
+
+/// Shuffle fast path: a Nonzero's encoding is flat (order, indices, value),
+/// so it can be encoded by pointer stores. Width varies with `order` per
+/// value, but every nonzero of one tensor shares it — which is what makes
+/// COO/QCOO shuffle batches fixed-width in practice.
+template <>
+struct FixedWidthSerde<tensor::Nonzero> {
+  static constexpr bool value = true;
+  static constexpr std::size_t kStaticWidth = 0;
+  static std::size_t width(const tensor::Nonzero& v) {
+    return v.serializedSize();
+  }
+  static std::uint8_t* encode(std::uint8_t* dst, const tensor::Nonzero& v) {
+    std::memcpy(dst, &v.order, sizeof(ModeId));
+    dst += sizeof(ModeId);
+    std::memcpy(dst, v.idx.data(), v.order * sizeof(Index));
+    dst += v.order * sizeof(Index);
+    std::memcpy(dst, &v.val, sizeof(Value));
+    return dst + sizeof(Value);
+  }
+  static const std::uint8_t* decode(const std::uint8_t* src,
+                                    tensor::Nonzero& out) {
+    std::memcpy(&out.order, src, sizeof(ModeId));
+    src += sizeof(ModeId);
+    CSTF_ASSERT(out.order <= kMaxOrder, "corrupt Nonzero record");
+    std::memcpy(out.idx.data(), src, out.order * sizeof(Index));
+    src += out.order * sizeof(Index);
+    std::memcpy(&out.val, src, sizeof(Value));
+    return src + sizeof(Value);
+  }
+};
+
+}  // namespace cstf

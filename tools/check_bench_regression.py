@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Compare a Google Benchmark JSON run against a committed baseline.
+
+Usage:
+  check_bench_regression.py --baseline bench/baselines/bench_micro_engine.json \
+      --current BENCH_micro_engine.json [--threshold 25] [--normalize]
+
+Benchmarks are matched by name (intersection of the two files); real_time is
+compared in nanoseconds. A benchmark regresses when
+
+    current > baseline * (1 + threshold/100)
+
+With --normalize, each ratio is divided by the median ratio across all shared
+benchmarks first. That cancels a uniform hardware-speed difference between the
+machine that produced the baseline and the machine running the check (CI
+runners are not the container the baseline was recorded on), while still
+flagging a benchmark that slowed down *relative to the rest of the suite*.
+
+Exit status: 0 when no benchmark regresses, 1 otherwise (or on bad input).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Map benchmark name -> real_time in ns from a google-benchmark JSON."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev repetitions) if present.
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        t = b.get("real_time")
+        if name is None or t is None:
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            print(f"warning: unknown time_unit '{unit}' for {name}, skipped",
+                  file=sys.stderr)
+            continue
+        out[name] = float(t) * scale
+    return out
+
+
+def median(xs):
+    s = sorted(xs)
+    n = len(s)
+    return s[n // 2] if n % 2 else 0.5 * (s[n // 2 - 1] + s[n // 2])
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3f} us"
+    return f"{ns:.0f} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (google-benchmark format)")
+    ap.add_argument("--current", required=True,
+                    help="freshly produced JSON to check")
+    ap.add_argument("--threshold", type=float, default=25.0,
+                    help="allowed slowdown in percent (default: 25)")
+    ap.add_argument("--normalize", action="store_true",
+                    help="divide ratios by the median ratio to cancel "
+                         "cross-machine speed differences")
+    args = ap.parse_args()
+
+    try:
+        base = load_benchmarks(args.baseline)
+        cur = load_benchmarks(args.current)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("error: no benchmark names shared between baseline and current",
+              file=sys.stderr)
+        return 1
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+    for n in only_base:
+        print(f"note: '{n}' in baseline only (not checked)")
+    for n in only_cur:
+        print(f"note: '{n}' in current only (not checked)")
+
+    ratios = {n: cur[n] / base[n] for n in shared}
+    med = median(list(ratios.values())) if args.normalize else 1.0
+    if args.normalize:
+        print(f"normalizing by median ratio: {med:.3f} "
+              f"(cancels uniform machine-speed difference)")
+        if med <= 0:
+            print("error: non-positive median ratio", file=sys.stderr)
+            return 1
+
+    limit = 1.0 + args.threshold / 100.0
+    regressions = []
+    name_w = max(len(n) for n in shared)
+    header = (f"{'benchmark':<{name_w}}  {'baseline':>12}  {'current':>12}  "
+              f"{'ratio':>7}  verdict")
+    print(header)
+    print("-" * len(header))
+    for n in shared:
+        r = ratios[n] / med
+        verdict = "ok"
+        if r > limit:
+            verdict = "REGRESSED"
+            regressions.append((n, r))
+        elif r < 1.0 / limit:
+            verdict = "improved"
+        print(f"{n:<{name_w}}  {fmt_ns(base[n]):>12}  {fmt_ns(cur[n]):>12}  "
+              f"{r:>6.2f}x  {verdict}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0f}%:")
+        for n, r in regressions:
+            print(f"  {n}: {r:.2f}x")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0f}% "
+          f"across {len(shared)} shared benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
