@@ -23,6 +23,7 @@
 #include <string>
 #include <tuple>
 #include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -161,6 +162,35 @@ struct Serde<std::vector<T>> {
   static std::size_t byteSize(const std::vector<T>& v) {
     std::size_t n = sizeof(std::uint32_t);
     for (const T& x : v) n += Serde<T>::byteSize(x);
+    return n;
+  }
+};
+
+template <typename K, typename V, typename H, typename E, typename A>
+struct Serde<std::unordered_map<K, V, H, E, A>> {
+  using Map = std::unordered_map<K, V, H, E, A>;
+  static void write(Writer& w, const Map& m) {
+    w.writeRaw(static_cast<std::uint32_t>(m.size()));
+    for (const auto& [k, v] : m) {
+      Serde<K>::write(w, k);
+      Serde<V>::write(w, v);
+    }
+  }
+  static Map read(Reader& r) {
+    const auto n = r.readRaw<std::uint32_t>();
+    Map m;
+    m.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      K k = Serde<K>::read(r);
+      m.emplace(std::move(k), Serde<V>::read(r));
+    }
+    return m;
+  }
+  static std::size_t byteSize(const Map& m) {
+    std::size_t n = sizeof(std::uint32_t);
+    for (const auto& [k, v] : m) {
+      n += Serde<K>::byteSize(k) + Serde<V>::byteSize(v);
+    }
     return n;
   }
 };

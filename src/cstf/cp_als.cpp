@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <optional>
 
 #include "common/log.hpp"
@@ -12,6 +13,7 @@
 #include "cstf/mttkrp_bigtensor.hpp"
 #include "cstf/mttkrp_coo.hpp"
 #include "cstf/mttkrp_qcoo.hpp"
+#include "cstf/skew.hpp"
 #include "la/normalize.hpp"
 #include "la/solve.hpp"
 #include "tensor/reference_ops.hpp"
@@ -69,13 +71,27 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
     Xrdd.cache(opts.tensorStorage);
   }
 
+  // Skew mitigation: when a non-hash policy is active for a distributed
+  // backend, run the key-frequency census exactly once — before iteration
+  // 1 — and cache the plan in the options every MTTKRP call receives.
+  MttkrpOptions mttkrpOpts = opts.mttkrp;
+  const sparkle::SkewPolicy skewPolicy = effectiveSkewPolicy(ctx, mttkrpOpts);
+  result.report.skewPolicy = sparkle::skewPolicyName(skewPolicy);
+  if (skewPolicy != sparkle::SkewPolicy::kHash &&
+      mttkrpOpts.skewPlan == nullptr &&
+      (opts.backend == Backend::kCoo || opts.backend == Backend::kQcoo)) {
+    mttkrpOpts.skewPlan = buildSkewPlan(ctx, Xrdd, order, mttkrpOpts);
+  }
+
   std::optional<QcooEngine> qcoo;
   if (opts.backend == Backend::kQcoo) {
-    qcoo.emplace(ctx, Xrdd, dims, result.factors, opts.mttkrp);
+    qcoo.emplace(ctx, Xrdd, dims, result.factors, mttkrpOpts);
   }
 
   const double xNormSq = X.norm() * X.norm();
-  double prevFit = 0.0;
+  // NaN until iteration 1 completes: the first iteration has no previous
+  // fit, so its fitDelta is explicitly undefined (serialized as null).
+  double prevFit = std::numeric_limits<double>::quiet_NaN();
 
   for (int iter = 1; iter <= opts.maxIterations; ++iter) {
     const double simBefore = ctx.metrics().simTimeSec();
@@ -89,6 +105,7 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
     IterationTelemetry iterTel;
     iterTel.iteration = iter;
     sparkle::MetricsTotals modeBase = ctx.metrics().totals();
+    std::size_t modeStageBase = ctx.metrics().stageCount();
     auto modeWall = wallBefore;
     auto emitModeTelemetry = [&](ModeId n) {
       const auto now = std::chrono::steady_clock::now();
@@ -110,8 +127,12 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
       mt.sourceBytesRead = after.sourceBytesRead - modeBase.sourceBytesRead;
       mt.cacheBytesDeserialized =
           after.cacheBytesDeserialized - modeBase.cacheBytesDeserialized;
+      // Reduce-task record skew of this mode's shuffles — the metric the
+      // skew policies (hash/frequency/replicate) exist to improve.
+      mt.reduceSkew = ctx.metrics().reduceSkewForStagesFrom(modeStageBase);
       iterTel.modes.push_back(mt);
       modeBase = after;
+      modeStageBase = ctx.metrics().stageCount();
       modeWall = now;
     };
 
@@ -157,7 +178,7 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
             switch (opts.backend) {
               case Backend::kCoo:
                 m = mttkrpCoo(ctx, Xrdd, dims, result.factors, n,
-                              opts.mttkrp);
+                              mttkrpOpts);
                 break;
               case Backend::kQcoo:
                 CSTF_ASSERT(qcoo->nextMode() == n,
@@ -166,7 +187,7 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
                 break;
               case Backend::kBigtensor:
                 m = mttkrpBigtensor(ctx, Xrdd, dims, result.factors, n,
-                                    opts.mttkrp);
+                                    mttkrpOpts);
                 break;
               case Backend::kReference:
                 m = tensor::referenceMttkrp(X, result.factors, n);
@@ -224,8 +245,9 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
     result.iterations.push_back(stats);
     if (opts.onIteration) opts.onIteration(stats);
 
-    if (opts.computeFit && iter > 1 &&
-        std::abs(stats.fit - prevFit) < opts.tolerance) {
+    // Iteration 1 can never converge: prevFit is NaN there, and NaN
+    // comparisons are false.
+    if (opts.computeFit && std::abs(stats.fit - prevFit) < opts.tolerance) {
       result.converged = true;
       prevFit = stats.fit;
       break;

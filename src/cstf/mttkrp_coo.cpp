@@ -1,6 +1,7 @@
 #include "cstf/mttkrp_coo.hpp"
 
 #include "cstf/records.hpp"
+#include "cstf/skew.hpp"
 
 namespace cstf::cstf_core {
 
@@ -34,6 +35,39 @@ la::Matrix mttkrpCoo(sparkle::Context& ctx,
   const std::vector<ModeId> fixed = cooJoinOrder(order, mode);
   const double r = static_cast<double>(rank);
 
+  // Skew mitigation: resolve the policy and (when mitigating) make sure a
+  // census exists — the CP-ALS driver builds and caches one before
+  // iteration 1, standalone callers get their own here.
+  const sparkle::SkewPolicy policy = effectiveSkewPolicy(ctx, opts);
+  std::shared_ptr<const SkewPlan> plan = opts.skewPlan;
+  if (policy != sparkle::SkewPolicy::kHash && plan == nullptr) {
+    plan = buildSkewPlan(ctx, X, order, opts);
+  }
+  // Replicate-path inputs are consumed twice (hot + cold filters); they
+  // are cached for the duration of this MTTKRP and unpersisted at the end.
+  std::vector<sparkle::Rdd<std::pair<Index, Carry>>> cachedInputs;
+
+  // One join stage, under the active skew policy, keyed by `joinMode`.
+  auto joinFactor = [&](sparkle::Rdd<std::pair<Index, Carry>>& in,
+                        const sparkle::Rdd<std::pair<Index, la::Row>>& fac,
+                        ModeId joinMode) {
+    if (policy == sparkle::SkewPolicy::kFrequency) {
+      return in.join(fac,
+                     skewAwarePartitioner(ctx, plan.get(), joinMode,
+                                          opts.numPartitions),
+                     "coo-join");
+    }
+    if (policy == sparkle::SkewPolicy::kReplicate) {
+      auto hot = hotKeySet(plan.get(), joinMode);
+      if (hot) {
+        in.cache();
+        cachedInputs.push_back(in);
+      }
+      return in.skewJoin(fac, std::move(hot), nullptr, "coo-join");
+    }
+    return in.join(fac, nullptr, "coo-join");
+  };
+
   // STAGE 0: key nonzeros by the first join mode.
   auto keyed = X.map([d0 = fixed[0]](const tensor::Nonzero& nz) {
     return std::pair<Index, Carry>(nz.idx[d0], Carry{nz, {}});
@@ -43,7 +77,7 @@ la::Matrix mttkrpCoo(sparkle::Context& ctx,
   // into the carried partial product and re-key by the next join mode.
   for (std::size_t s = 0; s + 1 < fixed.size(); ++s) {
     auto factorRdd = factorToRdd(ctx, factors[fixed[s]], opts.numPartitions);
-    auto joined = keyed.join(factorRdd, nullptr, "coo-join");
+    auto joined = joinFactor(keyed, factorRdd, fixed[s]);
     const ModeId nextKey = fixed[s + 1];
     keyed = joined.mapWithFlops(
         [nextKey](const std::pair<Index, std::pair<Carry, la::Row>>& kv) {
@@ -63,7 +97,7 @@ la::Matrix mttkrpCoo(sparkle::Context& ctx,
   // Last join: finish the Hadamard product and emit (mode index, row).
   auto lastFactor =
       factorToRdd(ctx, factors[fixed.back()], opts.numPartitions);
-  auto lastJoined = keyed.join(lastFactor, nullptr, "coo-join");
+  auto lastJoined = joinFactor(keyed, lastFactor, fixed.back());
   auto rows = lastJoined.mapWithFlops(
       [mode](const std::pair<Index, std::pair<Carry, la::Row>>& kv) {
         const Carry& c = kv.second.first;
@@ -74,14 +108,20 @@ la::Matrix mttkrpCoo(sparkle::Context& ctx,
       },
       r);
 
-  // STAGE 3: sum rows with equal output index.
+  // STAGE 3: sum rows with equal output index. Under skew mitigation, the
+  // output mode's heavy rows are spread by the frequency partitioner too.
+  auto reducePart =
+      policy == sparkle::SkewPolicy::kHash
+          ? ctx.hashPartitioner(opts.numPartitions)
+          : skewAwarePartitioner(ctx, plan.get(), mode, opts.numPartitions);
   auto reduced = rows.reduceByKey(
       [](const la::Row& a, const la::Row& b) { return la::rowAdd(a, b); },
-      ctx.hashPartitioner(opts.numPartitions), opts.mapSideCombine, r,
-      "coo-reduceByKey");
+      std::move(reducePart), opts.mapSideCombine, r, "coo-reduceByKey");
 
-  return rowsToMatrix(reduced.collect("coo-mttkrp-result"), dims[mode],
-                      rank);
+  la::Matrix result =
+      rowsToMatrix(reduced.collect("coo-mttkrp-result"), dims[mode], rank);
+  for (auto& cached : cachedInputs) cached.unpersist();
+  return result;
 }
 
 }  // namespace cstf::cstf_core

@@ -18,6 +18,14 @@ QcooEngine::QcooEngine(sparkle::Context& ctx,
     CSTF_CHECK(f.cols() == rank_, "factors must share rank");
   }
 
+  // Resolve the skew policy once; build (or reuse) the census before the
+  // init chain so its joins are skew-aware too.
+  policy_ = effectiveSkewPolicy(ctx_, opts_);
+  plan_ = opts_.skewPlan;
+  if (policy_ != sparkle::SkewPolicy::kHash && plan_ == nullptr) {
+    plan_ = buildSkewPlan(ctx_, X, order_, opts_);
+  }
+
   sparkle::ScopedStage scope(ctx_.metrics(), "QCOO-init");
 
   // Key every nonzero by mode 0, then join modes 0..N-2 in turn, each join
@@ -29,7 +37,13 @@ QcooEngine::QcooEngine(sparkle::Context& ctx,
   for (ModeId m = 0; m + 1 < order_; ++m) {
     auto factorRdd =
         factorToRdd(ctx_, initialFactors[m], opts_.numPartitions);
-    auto joined = q.join(factorRdd, nullptr, "qcoo-init-join");
+    if (policy_ == sparkle::SkewPolicy::kReplicate && !q.isCached()) {
+      // skewJoin consumes its left side twice; cache the chain link and
+      // retire it once the first MTTKRP has materialized everything.
+      q.cache();
+      initCached_.push_back(q);
+    }
+    auto joined = joinFactor(q, factorRdd, m, "qcoo-init-join");
     const ModeId nextKey = static_cast<ModeId>(
         m + 2 < order_ ? m + 1 : order_ - 1);
     q = joined.map(
@@ -44,6 +58,23 @@ QcooEngine::QcooEngine(sparkle::Context& ctx,
   q_ = std::move(q);
 }
 
+sparkle::Rdd<std::pair<Index, std::pair<QRecord, la::Row>>>
+QcooEngine::joinFactor(sparkle::Rdd<std::pair<Index, QRecord>>& in,
+                       const sparkle::Rdd<std::pair<Index, la::Row>>& fac,
+                       ModeId jm, const std::string& label) {
+  if (policy_ == sparkle::SkewPolicy::kFrequency) {
+    return in.join(
+        fac, skewAwarePartitioner(ctx_, plan_.get(), jm, opts_.numPartitions),
+        label);
+  }
+  if (policy_ == sparkle::SkewPolicy::kReplicate) {
+    // The left side is either cached (init chain, first MTTKRP) or a
+    // materialized snapshot, so skewJoin's double consumption is safe.
+    return in.skewJoin(fac, hotKeySet(plan_.get(), jm), nullptr, label);
+  }
+  return in.join(fac, nullptr, label);
+}
+
 la::Matrix QcooEngine::mttkrpNext(const std::vector<la::Matrix>& factors) {
   const ModeId n = nextMode_;
   const ModeId jm = joinMode();
@@ -53,7 +84,7 @@ la::Matrix QcooEngine::mttkrpNext(const std::vector<la::Matrix>& factors) {
   // STAGE 1: single join with the freshest factor (mode n-1, updated by
   // the previous MTTKRP — or mode N-1's initial value on the first call).
   auto factorRdd = factorToRdd(ctx_, factors[jm], opts_.numPartitions);
-  auto joined = q_->join(factorRdd, nullptr, "qcoo-join");
+  auto joined = joinFactor(*q_, factorRdd, jm, "qcoo-join");
 
   // STAGE 2: enqueue the joined row, dequeue the stalest (the row of the
   // mode being updated now), and re-key to mode n — which is both this
@@ -80,13 +111,21 @@ la::Matrix QcooEngine::mttkrpNext(const std::vector<la::Matrix>& factors) {
         return out;
       },
       r * static_cast<double>(order_ - 1));
+  auto reducePart =
+      policy_ == sparkle::SkewPolicy::kHash
+          ? ctx_.hashPartitioner(opts_.numPartitions)
+          : skewAwarePartitioner(ctx_, plan_.get(), n, opts_.numPartitions);
   auto reduced = contrib.reduceByKey(
       [](const la::Row& a, const la::Row& b) { return la::rowAdd(a, b); },
-      ctx_.hashPartitioner(opts_.numPartitions), opts_.mapSideCombine, r,
-      "qcoo-reduceByKey");
+      std::move(reducePart), opts_.mapSideCombine, r, "qcoo-reduceByKey");
 
   la::Matrix result =
       rowsToMatrix(reduced.collect("qcoo-mttkrp-result"), dims_[n], rank_);
+
+  // Everything up to here is materialized now; the replicate-path cache of
+  // the init chain has served its purpose.
+  for (auto& cached : initCached_) cached.unpersist();
+  initCached_.clear();
 
   // Retire the previous queue RDD (paper: unpersist the old RDD) and
   // detach the new one from its lineage so past iterations' shuffle blocks

@@ -2,11 +2,17 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "common/error.hpp"
+#include "sparkle/partitioner.hpp"
 
 namespace cstf::cstf_core {
+
+struct SkewPlan;  // cstf/skew.hpp
 
 /// Which MTTKRP/CP-ALS implementation runs.
 ///   kCoo       — CSTF-COO (paper §4.1)
@@ -44,6 +50,27 @@ struct MttkrpOptions {
   std::size_t numPartitions = 0;
   /// Spark-style map-side combining in the final reduceByKey.
   bool mapSideCombine = true;
+
+  /// Heavy-hitter key handling for the MTTKRP shuffles. Unset falls back
+  /// to ClusterConfig::skewPolicy (whose default, kHash, is the exact
+  /// historical behaviour).
+  std::optional<sparkle::SkewPolicy> skewPolicy;
+  /// Fraction of nonzeros the key-frequency census samples (1.0 = exact
+  /// counts). The census runs once, before iteration 1.
+  double censusSampleFraction = 0.25;
+  /// A key is heavy when its estimated record count reaches
+  /// heavyKeyFactor * (nnz / numPartitions) — i.e. this fraction of a
+  /// perfectly balanced partition's fair share.
+  double heavyKeyFactor = 0.25;
+  /// Cap on pinned/replicated keys per mode (bounds partitioner state and
+  /// broadcast volume on extremely heavy-tailed modes).
+  std::size_t maxHeavyKeysPerMode = 256;
+  /// Seed of the census sampling pass.
+  std::uint64_t censusSeed = 17;
+  /// Precomputed census (one ModeCensus per tensor mode). The CP-ALS
+  /// driver builds and caches this before iteration 1; backends called
+  /// standalone with a skew policy and no plan build their own.
+  std::shared_ptr<const SkewPlan> skewPlan;
 };
 
 }  // namespace cstf::cstf_core

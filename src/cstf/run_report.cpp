@@ -24,6 +24,18 @@ void writeTotals(JsonWriter& w, const sparkle::MetricsTotals& t) {
   w.endObject();
 }
 
+void writeRecordSkew(JsonWriter& w, const sparkle::RecordSkewStats& r) {
+  w.beginObject();
+  w.kv("partitions", std::uint64_t{r.partitions});
+  w.kv("meanRecords", r.meanRecords);
+  w.kv("p50Records", r.p50Records);
+  w.kv("p95Records", r.p95Records);
+  w.kv("maxRecords", r.maxRecords);
+  w.kv("imbalance", r.imbalance);
+  w.kv("heaviestPartition", std::uint64_t{r.heaviestPartition});
+  w.endObject();
+}
+
 }  // namespace
 
 void finalizeRunReport(const sparkle::MetricsRegistry& metrics,
@@ -43,6 +55,7 @@ void finalizeRunReport(const sparkle::MetricsRegistry& metrics,
     out.simTimeSec = s.simTimeSec;
     out.wallTimeSec = s.wallTimeSec;
     out.skew = sparkle::computeTaskSkew(s.tasks);
+    out.reduceSkew = sparkle::computeRecordSkew(s.reduceRecordsByPartition);
     report.stages.push_back(std::move(out));
   }
 }
@@ -52,6 +65,7 @@ std::string RunReport::toJson() const {
   w.beginObject();
   w.kv("schema", "cstf-run-report-v1");
   w.kv("backend", backend);
+  w.kv("skewPolicy", skewPolicy);
   w.kv("rank", std::uint64_t{rank});
   w.key("dims");
   w.beginArray();
@@ -89,6 +103,8 @@ std::string RunReport::toJson() const {
       w.kv("sourceBytesRead", std::uint64_t{m.sourceBytesRead});
       w.kv("cacheBytesDeserialized",
            std::uint64_t{m.cacheBytesDeserialized});
+      w.key("reduceSkew");
+      writeRecordSkew(w, m.reduceSkew);
       w.endObject();
     }
     w.endArray();
@@ -120,6 +136,8 @@ std::string RunReport::toJson() const {
     w.kv("imbalance", s.skew.imbalance);
     w.kv("heaviestPartition", std::uint64_t{s.skew.heaviestPartition});
     w.endObject();
+    w.key("reduceSkew");
+    writeRecordSkew(w, s.reduceSkew);
     w.endObject();
   }
   w.endArray();

@@ -33,11 +33,15 @@ struct ModeTelemetry {
   std::uint64_t flops = 0;
   std::uint64_t sourceBytesRead = 0;
   std::uint64_t cacheBytesDeserialized = 0;
+  /// Reduce-task record skew pooled over this mode update's shuffles — the
+  /// headline number of the skew-mitigation ablation.
+  sparkle::RecordSkewStats reduceSkew;
 };
 
 struct IterationTelemetry {
   int iteration = 0;
   double fit = 0.0;
+  /// NaN for iteration 1 (no previous fit exists); serialized as null.
   double fitDelta = 0.0;
   /// Norms of the column-weight vector after the iteration's last update.
   double lambdaL2 = 0.0;
@@ -61,10 +65,14 @@ struct StageSummary {
   double simTimeSec = 0.0;
   double wallTimeSec = 0.0;
   sparkle::TaskSkewStats skew;
+  /// Reduce-side record distribution (shuffle stages only).
+  sparkle::RecordSkewStats reduceSkew;
 };
 
 struct RunReport {
   std::string backend;
+  /// Active MTTKRP shuffle skew policy ("hash", "frequency", "replicate").
+  std::string skewPolicy;
   std::size_t rank = 0;
   std::vector<Index> dims;
   std::size_t nnz = 0;

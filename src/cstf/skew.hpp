@@ -1,0 +1,72 @@
+// Key-frequency census and skew-mitigation plan for the MTTKRP shuffles.
+//
+// Real tensors have power-law index distributions (paper Table 5's
+// delicious/NELL modes), so shuffles keyed by a mode index overload the
+// reduce partition that owns the hottest key. This module runs one cheap
+// sampled countByKey pass over the tensor RDD — counting every mode in a
+// single shuffle — and turns the result into, per mode:
+//   * a FrequencyAwarePartitioner (SkewPolicy::kFrequency) that bin-packs
+//     the heavy keys onto least-loaded partitions, and
+//   * a hot-key set (SkewPolicy::kReplicate) for Rdd::skewJoin, which
+//     broadcasts the heavy factor rows and joins them map-side.
+// The census runs once, before iteration 1, and is cached in MttkrpOptions
+// by the CP-ALS driver; its stages are recorded under the "SkewCensus"
+// metrics scope so A/B comparisons can separate census cost from iteration
+// cost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "cstf/options.hpp"
+#include "sparkle/context.hpp"
+#include "sparkle/rdd.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace cstf::cstf_core {
+
+/// Census result for one tensor mode.
+struct ModeCensus {
+  /// (mode index, estimated record count), heaviest first, capped at
+  /// MttkrpOptions::maxHeavyKeysPerMode.
+  std::vector<std::pair<Index, std::uint64_t>> heavyKeys;
+  /// Estimated records carried by heavyKeys (sum of their counts).
+  std::uint64_t heavyRecords = 0;
+  /// Estimated total records keyed by this mode (≈ nnz).
+  std::uint64_t totalRecords = 0;
+};
+
+struct SkewPlan {
+  std::vector<ModeCensus> modes;
+  double sampleFraction = 1.0;
+};
+
+/// The skew policy this MTTKRP run should use: the per-op override when
+/// set, else the cluster-wide ClusterConfig::skewPolicy.
+sparkle::SkewPolicy effectiveSkewPolicy(const sparkle::Context& ctx,
+                                        const MttkrpOptions& opts);
+
+/// One sampled countByKey pass over `X`, counting all `order` modes in a
+/// single shuffle. A key is heavy when its estimated count reaches
+/// opts.heavyKeyFactor times the fair per-partition share.
+std::shared_ptr<const SkewPlan> buildSkewPlan(
+    sparkle::Context& ctx, const sparkle::Rdd<tensor::Nonzero>& X,
+    ModeId order, const MttkrpOptions& opts);
+
+/// Partitioner for shuffles keyed by `mode`'s indices: a
+/// FrequencyAwarePartitioner seeded from the census, or a plain hash
+/// partitioner when the plan has nothing heavy for that mode.
+std::shared_ptr<sparkle::Partitioner> skewAwarePartitioner(
+    sparkle::Context& ctx, const SkewPlan* plan, ModeId mode,
+    std::size_t numPartitions);
+
+/// The heavy keys of `mode` as a set, for Rdd::skewJoin; null when the
+/// plan has none (skewJoin then degrades to a plain join).
+std::shared_ptr<const std::unordered_set<Index, sparkle::StdKeyHash<Index>>>
+hotKeySet(const SkewPlan* plan, ModeId mode);
+
+}  // namespace cstf::cstf_core

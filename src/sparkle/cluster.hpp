@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "common/error.hpp"
+#include "sparkle/partitioner.hpp"
 
 namespace cstf::sparkle {
 
@@ -99,6 +100,11 @@ struct ClusterConfig {
   double taskFailureRate = 0.0;
   /// Attempts per task before the job is failed (Spark's spark.task.maxFailures).
   int maxTaskAttempts = 4;
+
+  /// Cluster-wide default for heavy-hitter key handling in skew-aware
+  /// operations (see SkewPolicy). kHash preserves the engine's historical
+  /// behaviour exactly; callers (e.g. MttkrpOptions) may override per-op.
+  SkewPolicy skewPolicy = SkewPolicy::kHash;
 
   ExecutionMode mode = ExecutionMode::kSpark;
 

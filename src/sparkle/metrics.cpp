@@ -56,6 +56,40 @@ TaskSkewStats computeTaskSkew(const std::vector<TaskRecord>& tasks) {
   return s;
 }
 
+RecordSkewStats computeRecordSkew(const std::vector<std::uint64_t>& records) {
+  RecordSkewStats s;
+  if (records.empty()) return s;
+  s.partitions = records.size();
+
+  std::vector<std::uint64_t> sorted = records;
+  std::uint64_t sum = 0;
+  std::uint64_t maxRec = 0;
+  for (std::size_t p = 0; p < records.size(); ++p) {
+    sum += records[p];
+    if (records[p] > maxRec) {
+      maxRec = records[p];
+      s.heaviestPartition = static_cast<std::uint32_t>(p);
+    }
+  }
+  std::sort(sorted.begin(), sorted.end());
+
+  auto pct = [&](double p) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(p / 100.0 * double(sorted.size()))));
+    return static_cast<double>(sorted[rank - 1]);
+  };
+  s.meanRecords = static_cast<double>(sum) / double(sorted.size());
+  s.p50Records = pct(50.0);
+  s.p95Records = pct(95.0);
+  s.maxRecords = static_cast<double>(maxRec);
+  if (s.meanRecords > 0.0) {
+    s.imbalance = s.maxRecords / s.meanRecords;
+  } else {
+    s.imbalance = 0.0;
+  }
+  return s;
+}
+
 void MetricsRegistry::pushScope(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   scopeStack_.push_back(name);
@@ -136,6 +170,7 @@ double MetricsRegistry::record(StageMetrics m, const StageCost& cost) {
   }
 
   m.simTimeSec = compute + network + disk + overhead;
+  m.nodeBytesInRemote = cost.nodeShuffleBytesInRemote;
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (m.stageId == 0) m.stageId = nextStageId_++;
@@ -165,12 +200,14 @@ std::string MetricsRegistry::toCsv() const {
       "source_bytes,shuffle_records,shuffle_bytes_remote,"
       "shuffle_bytes_local,broadcast_bytes,task_retries,sim_time_sec,"
       "wall_time_sec,tasks,task_p50_sec,task_p95_sec,task_max_sec,"
-      "task_imbalance,heaviest_partition\n";
+      "task_imbalance,heaviest_partition,reduce_partitions,"
+      "reduce_records_max,reduce_imbalance\n";
   for (const auto& s : stages_) {
     const TaskSkewStats skew = computeTaskSkew(s.tasks);
+    const RecordSkewStats rskew = computeRecordSkew(s.reduceRecordsByPartition);
     out += strprintf(
         "%llu,%llu,%s,%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.9g,"
-        "%.9g,%llu,%.9g,%.9g,%.9g,%.9g,%u\n",
+        "%.9g,%llu,%.9g,%.9g,%.9g,%.9g,%u,%llu,%.9g,%.9g\n",
         static_cast<unsigned long long>(s.stageId),
         static_cast<unsigned long long>(s.shuffleOpId), stageKindName(s.kind),
         csvField(s.scope).c_str(), csvField(s.label).c_str(),
@@ -184,7 +221,9 @@ std::string MetricsRegistry::toCsv() const {
         static_cast<unsigned long long>(s.taskRetries), s.simTimeSec,
         s.wallTimeSec, static_cast<unsigned long long>(skew.tasks),
         skew.p50Sec, skew.p95Sec, skew.maxSec, skew.imbalance,
-        skew.heaviestPartition);
+        skew.heaviestPartition,
+        static_cast<unsigned long long>(rskew.partitions), rskew.maxRecords,
+        rskew.imbalance);
   }
   return out;
 }
@@ -243,6 +282,34 @@ TaskSkewStats MetricsRegistry::skewForScope(
     pooled.insert(pooled.end(), s.tasks.begin(), s.tasks.end());
   }
   return computeTaskSkew(pooled);
+}
+
+RecordSkewStats MetricsRegistry::reduceSkewForScope(
+    const std::string& scopePrefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint64_t> pooled;
+  for (const auto& s : stages_) {
+    if (s.scope.rfind(scopePrefix, 0) != 0) continue;
+    pooled.insert(pooled.end(), s.reduceRecordsByPartition.begin(),
+                  s.reduceRecordsByPartition.end());
+  }
+  return computeRecordSkew(pooled);
+}
+
+std::size_t MetricsRegistry::stageCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stages_.size();
+}
+
+RecordSkewStats MetricsRegistry::reduceSkewForStagesFrom(
+    std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint64_t> pooled;
+  for (std::size_t i = index; i < stages_.size(); ++i) {
+    pooled.insert(pooled.end(), stages_[i].reduceRecordsByPartition.begin(),
+                  stages_[i].reduceRecordsByPartition.end());
+  }
+  return computeRecordSkew(pooled);
 }
 
 double MetricsRegistry::simTimeSec() const {

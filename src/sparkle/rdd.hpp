@@ -19,6 +19,8 @@
 #include <optional>
 #include <string>
 #include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -26,6 +28,12 @@
 #include "sparkle/shuffle.hpp"
 
 namespace cstf::sparkle {
+
+template <typename T>
+class Broadcast;
+template <typename T>
+Broadcast<T> broadcast(Context& ctx, T value,
+                       const std::string& label = "broadcast");
 
 namespace detail {
 
@@ -263,6 +271,70 @@ class Rdd {
     return Rdd<std::pair<K, std::pair<V, W>>>(ctx_, std::move(ds));
   }
 
+  /// Broadcast-hash skew join (hot-key replication). Right-side rows whose
+  /// key is in `hotKeys` are collected and broadcast; hot left records then
+  /// join map-side inside their current partitions, bypassing the shuffle
+  /// for exactly the keys that would overload one reduce partition. Cold
+  /// keys take the normal shuffled join. Emits the same (key, (V, W))
+  /// multiset as join(), in a different order. The left side is consumed
+  /// twice (hot and cold filters) — cache it first unless it is already
+  /// materialized, or the narrow chain recomputes per consumer.
+  template <typename W, typename TT = T,
+            typename = std::enable_if_t<detail::PairTraits<TT>::isPair>,
+            typename K = typename detail::PairTraits<TT>::Key,
+            typename V = typename detail::PairTraits<TT>::Value>
+  Rdd<std::pair<K, std::pair<V, W>>> skewJoin(
+      const Rdd<std::pair<K, W>>& other,
+      // type_identity blocks deduction so callers may pass nullptr or a
+      // shared_ptr to a non-const set.
+      std::type_identity_t<
+          std::shared_ptr<const std::unordered_set<K, StdKeyHash<K>>>>
+          hotKeys,
+      std::shared_ptr<Partitioner> part = nullptr,
+      const std::string& label = "skewJoin") const {
+    using Out = std::pair<K, std::pair<V, W>>;
+    if (!hotKeys || hotKeys->empty()) {
+      return join(other, std::move(part), label);
+    }
+
+    // Hot path: ship the (few, heavy-keyed) right rows to every node.
+    using HotMap = std::unordered_map<K, std::vector<W>, StdKeyHash<K>>;
+    HotMap hotMap;
+    for (auto& kv : other
+                        .filter([hotKeys](const std::pair<K, W>& kv) {
+                          return hotKeys->count(kv.first) > 0;
+                        })
+                        .collect(label + "-hot-rows")) {
+      hotMap[kv.first].push_back(std::move(kv.second));
+    }
+    Broadcast<HotMap> bc = cstf::sparkle::broadcast(
+        *ctx_, std::move(hotMap), label + "-hot-bcast");
+    auto hotOut =
+        filter([hotKeys](const std::pair<K, V>& kv) {
+          return hotKeys->count(kv.first) > 0;
+        }).flatMap([bc](const std::pair<K, V>& kv) {
+          std::vector<Out> out;
+          const auto it = bc.value().find(kv.first);
+          if (it != bc.value().end()) {
+            out.reserve(it->second.size());
+            for (const W& w : it->second) {
+              out.emplace_back(kv.first, std::pair<V, W>(kv.second, w));
+            }
+          }
+          return out;
+        });
+
+    // Cold path: the tail joins normally, minus the replicated keys.
+    auto coldLeft = filter([hotKeys](const std::pair<K, V>& kv) {
+      return hotKeys->count(kv.first) == 0;
+    });
+    auto coldRight = other.filter([hotKeys](const std::pair<K, W>& kv) {
+      return hotKeys->count(kv.first) == 0;
+    });
+    return coldLeft.join(coldRight, std::move(part), label)
+        .unionWith(hotOut);
+  }
+
   /// cogroup: for every key, collect ALL values from both sides. One
   /// logical shuffle op (sides already partitioned by `part` stay put).
   template <typename W, typename TT = T,
@@ -470,11 +542,67 @@ class Rdd {
     return *result;
   }
 
-  /// First `n` elements in partition order.
+  /// First `n` elements in partition order. Scans partitions one at a time
+  /// and stops as soon as `n` records are gathered (truncating within the
+  /// last partition), so first() on a narrow lineage computes — and meters —
+  /// only the partitions it actually touched instead of collecting the
+  /// whole RDD. Shuffle dependencies still materialize fully, as in Spark.
   std::vector<T> take(std::size_t n, const std::string& label = "take") const {
-    auto all = collect(label);
-    if (all.size() > n) all.resize(n);
-    return all;
+    std::vector<T> out;
+    if (n == 0) return out;
+    const auto t0 = std::chrono::steady_clock::now();
+    TraceSpan stageSpan(ctx_->trace(), "result:" + label, "stage");
+    ds_->ensureReady();
+    const std::size_t nParts = numPartitions();
+    const std::uint64_t stageId = ctx_->metrics().nextStageId();
+    const ClusterConfig& cfg = ctx_->config();
+    std::vector<TaskRecord> tasks;
+    for (std::size_t p = 0; p < nParts && out.size() < n; ++p) {
+      const auto tt0 = std::chrono::steady_clock::now();
+      TaskContext taskResult;
+      Block<T> block;
+      runTaskWithRetries(ctx_, stageId, p, taskResult, [&](TaskContext& tc) {
+        block = ds_->partition(p, tc);
+      });
+      const std::size_t want =
+          std::min(n - out.size(), block->size());
+      out.insert(out.end(), block->begin(),
+                 block->begin() + static_cast<std::ptrdiff_t>(want));
+      TaskRecord task;
+      task.partition = static_cast<std::uint32_t>(p);
+      task.node = static_cast<std::uint32_t>(cfg.nodeOfPartition(p));
+      task.work = taskResult.counters;
+      task.wallTimeSec = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - tt0)
+                             .count();
+      tasks.push_back(std::move(task));
+    }
+
+    StageMetrics m;
+    m.stageId = stageId;
+    m.kind = StageKind::kResult;
+    m.label = label;
+    StageCost cost;
+    cost.nodeComputeSec.assign(cfg.numNodes, 0.0);
+    for (TaskRecord& task : tasks) {
+      m.work += task.work;
+      const double sec = ctx_->metrics().computeSecondsOf(task.work);
+      task.simTimeSec = sec;
+      cost.maxTaskSec = std::max(cost.maxTaskSec, sec);
+      cost.nodeComputeSec[static_cast<std::size_t>(task.node)] += sec;
+    }
+    for (auto& sec : cost.nodeComputeSec) sec /= cfg.coresPerNode;
+    if (cfg.mode == ExecutionMode::kHadoop) cost.jobsStarted = 1;
+    m.wallTimeSec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (stageSpan.active()) {
+      stageSpan.arg("tasks", std::uint64_t{tasks.size()});
+      stageSpan.arg("records", m.work.recordsProcessed);
+    }
+    m.tasks = std::move(tasks);
+    ctx_->metrics().record(std::move(m), cost);
+    return out;
   }
 
   /// First element; throws on an empty Rdd.
@@ -670,8 +798,7 @@ class Broadcast {
 };
 
 template <typename T>
-Broadcast<T> broadcast(Context& ctx, T value,
-                       const std::string& label = "broadcast") {
+Broadcast<T> broadcast(Context& ctx, T value, const std::string& label) {
   const std::uint64_t bytes = serdeSize(value);
   const ClusterConfig& cfg = ctx.config();
   StageMetrics m;
@@ -679,8 +806,13 @@ Broadcast<T> broadcast(Context& ctx, T value,
   m.label = label;
   m.broadcastBytes = bytes * (cfg.numNodes > 0 ? cfg.numNodes - 1 : 0);
   StageCost cost;
-  cost.nodeShuffleBytesInRemote.assign(cfg.numNodes,
-                                       cfg.numNodes > 1 ? bytes : 0);
+  // Each of the numNodes - 1 receivers pulls one copy over its own link;
+  // the source node (node 0, where the driver-side value lives) pays no
+  // inbound cost — matching broadcastBytes above.
+  cost.nodeShuffleBytesInRemote.assign(cfg.numNodes, bytes);
+  if (!cost.nodeShuffleBytesInRemote.empty()) {
+    cost.nodeShuffleBytesInRemote[0] = 0;
+  }
   ctx.metrics().record(std::move(m), cost);
   return Broadcast<T>(std::make_shared<const T>(std::move(value)));
 }

@@ -290,6 +290,9 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
     m.shuffleRecords = totalRecords;
     m.shuffleBytesRemote = totalRemote;
     m.shuffleBytesLocal = totalLocal;
+    // Per-destination record counts: the reduce-task record-skew profile
+    // (hot keys show up here as one overloaded destination partition).
+    m.reduceRecordsByPartition = recordsByDst;
 
     StageCost cost;
     cost.nodeComputeSec.assign(cfg.numNodes, 0.0);

@@ -140,6 +140,17 @@ std::vector<std::string> paperAnalogNames() {
           "delicious4d-s"};
 }
 
+CooTensor generateZipf(const std::vector<Index>& dims, std::size_t nnz,
+                       double skew, std::uint64_t seed) {
+  GeneratorOptions o;
+  o.dims = dims;
+  o.nnz = nnz;
+  o.zipfSkew.assign(dims.size(), skew);
+  o.seed = seed;
+  o.name = strprintf("zipf-%.2f", skew);
+  return generateRandom(o);
+}
+
 CooTensor generateLowRank(const std::vector<Index>& dims, std::size_t rank,
                           std::size_t nnz, std::uint64_t seed, double noise) {
   CSTF_CHECK(!dims.empty() && dims.size() <= kMaxOrder,

@@ -43,6 +43,12 @@ CooTensor paperAnalog(const std::string& name, double scale = 1.0);
 /// All preset names in Table 5 order.
 std::vector<std::string> paperAnalogNames();
 
+/// Convenience wrapper for skew studies: every mode draws from Zipf with
+/// the same exponent `skew` (0 = uniform). The hot-key ablation benches
+/// and the skew-mitigation tests build their inputs through this knob.
+CooTensor generateZipf(const std::vector<Index>& dims, std::size_t nnz,
+                       double skew, std::uint64_t seed = 42);
+
 /// Build a low-rank ground-truth tensor from `rank` random Gaussian
 /// factors. With `nnz >= prod(dims)` every cell is emitted and the tensor
 /// is exactly rank-`rank` (plus optional noise) — CP-ALS must then reach a

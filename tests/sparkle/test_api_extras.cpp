@@ -119,9 +119,10 @@ TEST(ApiExtras, MetricsCsvHasHeaderAndRows) {
   }
   EXPECT_EQ(rows, ctx.metrics().stages().size());
   EXPECT_GE(scoped, 1u);
-  // Column count is stable: 20 commas per row (14 base columns + retries +
-  // 6 task-skew columns).
-  EXPECT_EQ(std::count(header.begin(), header.end(), ','), 20);
+  // Column count is stable: 23 commas per row (14 base columns + retries +
+  // 6 task-skew columns + 3 reduce-record-skew columns).
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','), 23);
+  EXPECT_NE(header.find("reduce_imbalance"), std::string::npos);
 }
 
 }  // namespace

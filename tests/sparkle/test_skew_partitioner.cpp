@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sparkle/sparkle.hpp"
+
+namespace cstf::sparkle {
+namespace {
+
+TEST(SkewPolicy, NamesRoundTrip) {
+  for (SkewPolicy p : {SkewPolicy::kHash, SkewPolicy::kFrequency,
+                       SkewPolicy::kReplicate}) {
+    EXPECT_EQ(skewPolicyFromName(skewPolicyName(p)), p);
+  }
+  EXPECT_THROW(skewPolicyFromName("zipf"), Error);
+  EXPECT_THROW(skewPolicyFromName(""), Error);
+}
+
+TEST(FrequencyAwarePartitioner, EmptyCensusBehavesLikeHash) {
+  FrequencyAwarePartitioner freq(8, {});
+  HashPartitioner hash(8);
+  for (std::uint64_t h = 0; h < 1000; ++h) {
+    EXPECT_EQ(freq.partitionOf(h * 0x9e3779b97f4a7c15ULL),
+              hash.partitionOf(h * 0x9e3779b97f4a7c15ULL));
+  }
+  EXPECT_EQ(freq.numPinnedKeys(), 0u);
+}
+
+TEST(FrequencyAwarePartitioner, SpreadsHeavyKeysAcrossPartitions) {
+  // 4 equally heavy keys, 4 partitions, no tail: each key must land on its
+  // own partition regardless of what hash % n would do.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> heavy = {
+      {40, 100}, {44, 100}, {48, 100}, {52, 100}};  // all ≡ 0 mod 4
+  FrequencyAwarePartitioner part(4, heavy);
+  std::vector<int> hits(4, 0);
+  for (const auto& [hash, weight] : heavy) ++hits[part.partitionOf(hash)];
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(part.numPinnedKeys(), 4u);
+}
+
+TEST(FrequencyAwarePartitioner, DuplicateHashesKeepFirstAssignment) {
+  FrequencyAwarePartitioner part(4, {{7, 100}, {7, 50}, {9, 60}});
+  EXPECT_EQ(part.numPinnedKeys(), 2u);
+  EXPECT_LT(part.partitionOf(7), 4u);
+}
+
+/// Deterministic Zipf-ish census: key i (1-based) has weight
+/// round(scale / i^exponent). Mild exponents produce many medium-heavy
+/// keys — the regime where hash placement collides them onto the same
+/// partition and LPT bin-packing visibly wins.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> zipfCensus(
+    std::size_t keys, double exponent, double scale) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(keys);
+  for (std::size_t i = 1; i <= keys; ++i) {
+    const auto w = static_cast<std::uint64_t>(
+        std::llround(scale / std::pow(double(i), exponent)));
+    // Hash the key id the same way the engine would hash an Index key.
+    out.emplace_back(KeyHash<std::uint32_t>{}(std::uint32_t(i)), w);
+  }
+  return out;
+}
+
+TEST(FrequencyAwarePartitioner, BeatsHashOnZipfLoad) {
+  const std::size_t nParts = 16;
+  for (const double exponent : {0.5, 0.7, 0.9}) {
+    const auto census = zipfCensus(200, exponent, 1e5);
+    std::uint64_t total = 0;
+    for (const auto& [h, w] : census) total += w;
+
+    std::vector<std::uint64_t> hashLoad(nParts, 0), freqLoad(nParts, 0);
+    HashPartitioner hash(nParts);
+    FrequencyAwarePartitioner freq(nParts, census);
+    for (const auto& [h, w] : census) {
+      hashLoad[hash.partitionOf(h)] += w;
+      freqLoad[freq.partitionOf(h)] += w;
+    }
+    const std::uint64_t hashMax =
+        *std::max_element(hashLoad.begin(), hashLoad.end());
+    const std::uint64_t freqMax =
+        *std::max_element(freqLoad.begin(), freqLoad.end());
+    const double fair = double(total) / double(nParts);
+    const double heaviestKey = double(census.front().second);
+
+    EXPECT_LE(freqMax, hashMax) << "exponent " << exponent;
+    // LPT guarantee: max load <= 4/3 * OPT, and OPT >= max(fair share,
+    // heaviest single key).
+    EXPECT_LE(double(freqMax),
+              (4.0 / 3.0) * std::max(fair, heaviestKey) + 1.0)
+        << "exponent " << exponent;
+  }
+}
+
+TEST(FrequencyAwarePartitioner, TailSeedLoadStopsOverPinningOnePartition) {
+  // One heavy key plus a huge uniform tail: the heavy key still gets
+  // pinned, and assignments remain inside [0, n).
+  FrequencyAwarePartitioner part(8, {{123, 500}}, /*tailWeight=*/80000);
+  EXPECT_LT(part.partitionOf(123), 8u);
+  EXPECT_EQ(part.numPinnedKeys(), 1u);
+}
+
+TEST(FrequencyAwarePartitioner, WorksAsShufflePartitioner) {
+  // End-to-end: partitionBy with a frequency-aware partitioner must keep
+  // every record and honor partitionOf for both pinned and tail keys.
+  ClusterConfig cfg;
+  cfg.numNodes = 4;
+  Context ctx(cfg, 2);
+  std::vector<std::pair<std::uint32_t, double>> data;
+  for (std::uint32_t i = 0; i < 400; ++i) data.push_back({i % 40, double(i)});
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> heavy = {
+      {KeyHash<std::uint32_t>{}(0u), 10},
+      {KeyHash<std::uint32_t>{}(1u), 10}};
+  auto part = std::make_shared<FrequencyAwarePartitioner>(8, heavy);
+  auto shuffled = parallelize(ctx, data, 4).partitionBy(part);
+  auto collected = shuffled.collect();
+  EXPECT_EQ(collected.size(), data.size());
+  const auto misplaced =
+      shuffled
+          .mapPartitionsWithIndex(
+              [part](std::size_t p,
+                     const std::vector<std::pair<std::uint32_t, double>>&
+                         block) {
+                std::vector<std::uint64_t> bad;
+                for (const auto& kv : block) {
+                  if (part->partitionOf(KeyHash<std::uint32_t>{}(kv.first)) !=
+                      p) {
+                    bad.push_back(kv.first);
+                  }
+                }
+                return bad;
+              },
+              true)
+          .collect();
+  EXPECT_TRUE(misplaced.empty());
+}
+
+}  // namespace
+}  // namespace cstf::sparkle

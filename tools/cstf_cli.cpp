@@ -13,6 +13,8 @@
 //   --iters N       max iterations (default 20)
 //   --tol T         fit-improvement stopping tolerance (default 1e-6)
 //   --backend B     coo | qcoo | bigtensor | reference (default qcoo)
+//   --skew-policy P hash | frequency | replicate MTTKRP shuffle skew
+//                   mitigation (default hash)
 //   --nodes N       simulated cluster size (default 8)
 //   --seed S        factor initialization seed (default 7)
 //   --scale X       scale for analog datasets (default 0.2)
@@ -20,6 +22,7 @@
 //   --trace-out P   write a Chrome-trace JSON (load in Perfetto / about:tracing)
 //   --report-out P  write the structured run report as JSON
 //   --metrics-csv P write per-stage engine metrics as CSV
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +46,7 @@ int usage() {
                "       cstf generate <analog> <out.tns> [--scale X]\n"
                "       cstf factor <tensor> [--rank R] [--iters N] [--tol T]\n"
                "                   [--backend coo|qcoo|bigtensor|reference]\n"
+               "                   [--skew-policy hash|frequency|replicate]\n"
                "                   [--nodes N] [--seed S] [--scale X]\n"
                "                   [--output PREFIX] [--trace-out P]\n"
                "                   [--report-out P] [--metrics-csv P]\n");
@@ -67,6 +71,7 @@ struct Args {
   int iters = 20;
   double tol = 1e-6;
   std::string backend = "qcoo";
+  std::string skewPolicy = "hash";
   int nodes = 8;
   std::uint64_t seed = 7;
   double scale = 0.2;
@@ -102,6 +107,10 @@ bool parseArgs(int argc, char** argv, Args& a) {
       const char* v = next("--backend");
       if (!v) return false;
       a.backend = v;
+    } else if (arg == "--skew-policy") {
+      const char* v = next("--skew-policy");
+      if (!v) return false;
+      a.skewPolicy = v;
     } else if (arg == "--nodes") {
       const char* v = next("--nodes");
       if (!v) return false;
@@ -179,6 +188,7 @@ int cmdFactor(const Args& a, const std::string& spec) {
 
   sparkle::ClusterConfig cluster;
   cluster.numNodes = a.nodes;
+  cluster.skewPolicy = sparkle::skewPolicyFromName(a.skewPolicy);
   const cstf_core::Backend backend = cstf_core::backendFromName(a.backend);
   if (backend == cstf_core::Backend::kBigtensor) {
     cluster.mode = sparkle::ExecutionMode::kHadoop;
@@ -193,12 +203,20 @@ int cmdFactor(const Args& a, const std::string& spec) {
   opts.backend = backend;
   opts.seed = a.seed;
 
-  std::printf("\nCP-ALS: rank %zu, backend %s, %d simulated nodes\n", a.rank,
-              cstf_core::backendName(backend), a.nodes);
+  std::printf("\nCP-ALS: rank %zu, backend %s, skew policy %s, "
+              "%d simulated nodes\n",
+              a.rank, cstf_core::backendName(backend),
+              a.skewPolicy.c_str(), a.nodes);
   const auto result = cstf_core::cpAls(ctx, t, opts);
   for (const auto& it : result.iterations) {
-    std::printf("  iter %3d  fit %.6f  (+%.2e)  cluster %s\n", it.iteration,
-                it.fit, it.fitDelta, humanSeconds(it.simTimeSec).c_str());
+    // Iteration 1 has no previous fit, so its delta is undefined.
+    if (std::isfinite(it.fitDelta)) {
+      std::printf("  iter %3d  fit %.6f  (+%.2e)  cluster %s\n", it.iteration,
+                  it.fit, it.fitDelta, humanSeconds(it.simTimeSec).c_str());
+    } else {
+      std::printf("  iter %3d  fit %.6f  (  --   )  cluster %s\n",
+                  it.iteration, it.fit, humanSeconds(it.simTimeSec).c_str());
+    }
   }
   std::printf("final fit %.6f after %zu iterations%s\n", result.finalFit,
               result.iterations.size(),
