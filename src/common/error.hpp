@@ -19,6 +19,30 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A task exhausted its attempt budget (Spark's TaskFailedReason after
+/// spark.task.maxFailures). Carries the op label / node in its message.
+class TaskFailedError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A reduce-side fetch found a map output missing — the node holding it
+/// died between the map stage and the fetch (Spark's FetchFailedException).
+/// The engine catches this internally and re-runs the missing map tasks;
+/// it only escapes wrapped in a JobAbortedError.
+class FetchFailedError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Recovery gave up: a stage kept losing map outputs past
+/// FaultPlan::maxStageAttempts. The job state on disk (checkpoints) stays
+/// valid; the CLI converts this into a resumable exit.
+class JobAbortedError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
 [[noreturn]] inline void assertFail(const char* expr, const char* file,
                                     int line, const char* msg) {

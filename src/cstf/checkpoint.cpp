@@ -1,0 +1,163 @@
+#include "cstf/checkpoint.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace cstf::cstf_core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kCkptMagic[8] = {'C', 'S', 'T', 'F', 'C', 'K', 'P', '1'};
+constexpr char kMatMagic[8] = {'C', 'S', 'T', 'F', 'M', 'A', 'T', '1'};
+constexpr std::uint32_t kCkptVersion = 1;
+
+template <typename T>
+void putRaw(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T getRaw(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw Error("truncated checkpoint stream");
+  return v;
+}
+
+void expectMagic(std::istream& in, const char (&magic)[8],
+                 const char* what) {
+  char got[8];
+  in.read(got, sizeof(got));
+  if (!in || std::memcmp(got, magic, sizeof(got)) != 0) {
+    throw Error(std::string("not a CSTF ") + what + " (bad magic)");
+  }
+}
+
+/// Parse "ckpt-NNNNNN.bin"; -1 for anything else.
+int checkpointIterationOf(const std::string& name) {
+  constexpr char kPrefix[] = "ckpt-";
+  constexpr char kSuffix[] = ".bin";
+  if (name.size() <= sizeof(kPrefix) - 1 + sizeof(kSuffix) - 1) return -1;
+  if (name.rfind(kPrefix, 0) != 0) return -1;
+  if (name.compare(name.size() - 4, 4, kSuffix) != 0) return -1;
+  int iter = 0;
+  for (std::size_t i = sizeof(kPrefix) - 1; i < name.size() - 4; ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    iter = iter * 10 + (name[i] - '0');
+  }
+  return iter;
+}
+
+}  // namespace
+
+void writeMatrixBinary(std::ostream& out, const la::Matrix& m) {
+  out.write(kMatMagic, sizeof(kMatMagic));
+  putRaw<std::uint64_t>(out, m.rows());
+  putRaw<std::uint64_t>(out, m.cols());
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.rows() * m.cols() *
+                                         sizeof(double)));
+  if (!out) throw Error("failed writing binary matrix");
+}
+
+la::Matrix readMatrixBinary(std::istream& in) {
+  expectMagic(in, kMatMagic, "binary matrix");
+  const auto rows = getRaw<std::uint64_t>(in);
+  const auto cols = getRaw<std::uint64_t>(in);
+  la::Matrix m(static_cast<std::size_t>(rows),
+               static_cast<std::size_t>(cols));
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(rows * cols * sizeof(double)));
+  if (!in) throw Error("truncated checkpoint stream");
+  return m;
+}
+
+void writeCheckpoint(std::ostream& out, const CpAlsCheckpoint& c) {
+  CSTF_CHECK(c.factors.size() == c.dims.size(),
+             "checkpoint needs one factor per mode");
+  out.write(kCkptMagic, sizeof(kCkptMagic));
+  putRaw<std::uint32_t>(out, kCkptVersion);
+  putRaw<std::uint64_t>(out, c.seed);
+  putRaw<std::int32_t>(out, c.iteration);
+  putRaw<std::uint64_t>(out, c.rank);
+  putRaw<std::uint8_t>(out, static_cast<std::uint8_t>(c.dims.size()));
+  for (const Index d : c.dims) putRaw<std::uint32_t>(out, d);
+  putRaw<double>(out, c.prevFit);
+  putRaw<std::uint64_t>(out, c.lambda.size());
+  for (const double l : c.lambda) putRaw<double>(out, l);
+  for (const la::Matrix& f : c.factors) writeMatrixBinary(out, f);
+  if (!out) throw Error("failed writing checkpoint");
+}
+
+CpAlsCheckpoint readCheckpoint(std::istream& in) {
+  expectMagic(in, kCkptMagic, "checkpoint");
+  const auto version = getRaw<std::uint32_t>(in);
+  CSTF_CHECK(version == kCkptVersion, "unsupported checkpoint version");
+  CpAlsCheckpoint c;
+  c.seed = getRaw<std::uint64_t>(in);
+  c.iteration = getRaw<std::int32_t>(in);
+  c.rank = static_cast<std::size_t>(getRaw<std::uint64_t>(in));
+  const auto order = getRaw<std::uint8_t>(in);
+  c.dims.resize(order);
+  for (auto& d : c.dims) d = getRaw<std::uint32_t>(in);
+  c.prevFit = getRaw<double>(in);
+  const auto nLambda = getRaw<std::uint64_t>(in);
+  c.lambda.resize(static_cast<std::size_t>(nLambda));
+  for (auto& l : c.lambda) l = getRaw<double>(in);
+  c.factors.reserve(order);
+  for (std::uint8_t m = 0; m < order; ++m) {
+    c.factors.push_back(readMatrixBinary(in));
+    CSTF_CHECK(c.factors.back().rows() == c.dims[m] &&
+                   c.factors.back().cols() == c.rank,
+               "checkpoint factor shape does not match its header");
+  }
+  return c;
+}
+
+std::string saveCheckpoint(const std::string& dir,
+                           const CpAlsCheckpoint& c) {
+  CSTF_CHECK(!dir.empty(), "checkpoint directory must not be empty");
+  fs::create_directories(dir);
+  const fs::path final =
+      fs::path(dir) / strprintf("ckpt-%06d.bin", c.iteration);
+  const fs::path tmp = fs::path(dir) / strprintf("ckpt-%06d.tmp", c.iteration);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("cannot write checkpoint: " + tmp.string());
+    writeCheckpoint(out, c);
+  }
+  fs::rename(tmp, final);
+  return final.string();
+}
+
+std::optional<CpAlsCheckpoint> loadLatestCheckpoint(const std::string& dir) {
+  std::error_code ec;
+  if (dir.empty() || !fs::is_directory(dir, ec)) return std::nullopt;
+  int best = -1;
+  fs::path bestPath;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const int iter = checkpointIterationOf(entry.path().filename().string());
+    if (iter > best) {
+      best = iter;
+      bestPath = entry.path();
+    }
+  }
+  if (best < 0) return std::nullopt;
+  std::ifstream in(bestPath, std::ios::binary);
+  if (!in) throw Error("cannot read checkpoint: " + bestPath.string());
+  try {
+    return readCheckpoint(in);
+  } catch (const Error& e) {
+    throw Error(bestPath.string() + ": " + e.what());
+  }
+}
+
+}  // namespace cstf::cstf_core

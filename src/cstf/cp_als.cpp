@@ -8,6 +8,7 @@
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "cstf/checkpoint.hpp"
 #include "cstf/dim_tree.hpp"
 #include "cstf/factors.hpp"
 #include "cstf/mttkrp_bigtensor.hpp"
@@ -59,10 +60,49 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
   result.report.nnz = X.nnz();
   result.report.nodes = ctx.config().numNodes;
 
-  // Gram cache: recomputed per factor only when that factor updates.
+  // Driver restart: restore the newest checkpoint and continue its
+  // trajectory. Only the ALS state (factors, lambda, previous fit)
+  // persists; the tensor RDD, skew plan, and engines below are rebuilt
+  // from lineage exactly as a fresh run would build them.
+  int startIter = 1;
+  double restoredPrevFit = std::numeric_limits<double>::quiet_NaN();
+  if (opts.resume) {
+    if (std::optional<CpAlsCheckpoint> ck =
+            loadLatestCheckpoint(opts.checkpointDir)) {
+      CSTF_CHECK(ck->seed == opts.seed && ck->rank == opts.rank &&
+                     ck->dims == dims,
+                 "checkpoint metadata (seed/rank/dims) does not match this "
+                 "run's configuration");
+      result.factors = std::move(ck->factors);
+      result.lambda = std::move(ck->lambda);
+      restoredPrevFit = ck->prevFit;
+      startIter = ck->iteration + 1;
+      result.report.resumedFromIteration = ck->iteration;
+      CSTF_LOG_INFO("cp-als[%s] resumed from '%s' after iteration %d",
+                    backendName(opts.backend), opts.checkpointDir.c_str(),
+                    ck->iteration);
+    } else {
+      CSTF_LOG_INFO("cp-als[%s] resume: no checkpoint in '%s', starting "
+                    "fresh",
+                    backendName(opts.backend), opts.checkpointDir.c_str());
+    }
+  }
+
+  // Gram cache: recomputed per factor only when that factor updates. On
+  // resume with engine-side grams, rebuild every gram the way the
+  // interrupted run last computed it (distributedGram), so the resumed
+  // trajectory stays bit-identical to the uninterrupted one.
   std::vector<la::Matrix> grams;
   grams.reserve(order);
-  for (const la::Matrix& f : result.factors) grams.push_back(la::gram(f));
+  if (opts.distributedGrams && startIter > 1) {
+    sparkle::ScopedStage scope(ctx.metrics(), "Other");
+    for (const la::Matrix& f : result.factors) {
+      grams.push_back(distributedGram(
+          factorToRdd(ctx, f, opts.mttkrp.numPartitions), opts.rank));
+    }
+  } else {
+    for (const la::Matrix& f : result.factors) grams.push_back(la::gram(f));
+  }
 
   // Distribute and cache the tensor (cache() is a no-op in Hadoop mode, so
   // the BIGtensor baseline honestly re-reads its input per job).
@@ -90,10 +130,12 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
 
   const double xNormSq = X.norm() * X.norm();
   // NaN until iteration 1 completes: the first iteration has no previous
-  // fit, so its fitDelta is explicitly undefined (serialized as null).
-  double prevFit = std::numeric_limits<double>::quiet_NaN();
+  // fit, so its fitDelta is explicitly undefined (serialized as null). A
+  // resumed run instead starts from the checkpointed fit, so convergence
+  // detection behaves as if the run had never been interrupted.
+  double prevFit = restoredPrevFit;
 
-  for (int iter = 1; iter <= opts.maxIterations; ++iter) {
+  for (int iter = startIter; iter <= opts.maxIterations; ++iter) {
     const double simBefore = ctx.metrics().simTimeSec();
     const auto wallBefore = std::chrono::steady_clock::now();
     TraceSpan iterSpan(ctx.trace(), strprintf("iteration-%d", iter),
@@ -127,6 +169,7 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
       mt.sourceBytesRead = after.sourceBytesRead - modeBase.sourceBytesRead;
       mt.cacheBytesDeserialized =
           after.cacheBytesDeserialized - modeBase.cacheBytesDeserialized;
+      mt.taskRetries = after.taskRetries - modeBase.taskRetries;
       // Reduce-task record skew of this mode's shuffles — the metric the
       // skew policies (hash/frequency/replicate) exist to improve.
       mt.reduceSkew = ctx.metrics().reduceSkewForStagesFrom(modeStageBase);
@@ -244,6 +287,26 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
 
     result.iterations.push_back(stats);
     if (opts.onIteration) opts.onIteration(stats);
+
+    if (!opts.checkpointDir.empty() && opts.checkpointEvery > 0 &&
+        iter % opts.checkpointEvery == 0) {
+      CpAlsCheckpoint ck;
+      ck.seed = opts.seed;
+      ck.iteration = iter;
+      // stats.fit is the prevFit the next iteration compares against; a
+      // resume restores exactly that comparison state.
+      ck.prevFit = stats.fit;
+      ck.rank = opts.rank;
+      ck.dims = dims;
+      ck.lambda = result.lambda;
+      ck.factors = result.factors;
+      const std::string path = saveCheckpoint(opts.checkpointDir, ck);
+      CSTF_LOG_DEBUG("cp-als checkpoint written: %s", path.c_str());
+      if (ctx.trace().enabled()) {
+        ctx.trace().recordInstant("checkpoint", "cp-als",
+                                  {{"iteration", std::to_string(iter)}});
+      }
+    }
 
     // Iteration 1 can never converge: prevFit is NaN there, and NaN
     // comparisons are false.

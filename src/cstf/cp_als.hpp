@@ -54,6 +54,16 @@ struct CpAlsOptions {
   /// identical; the engine path meters the work the paper's §4.2
   /// once-per-iteration gram policy refers to.
   bool distributedGrams = false;
+  /// When non-empty, persist the full ALS state (factors + lambda +
+  /// iteration + seed, see cstf/checkpoint.hpp) into this directory every
+  /// `checkpointEvery` iterations, so an interrupted job can resume.
+  std::string checkpointDir;
+  int checkpointEvery = 1;
+  /// Restore the latest checkpoint in `checkpointDir` (if any) and
+  /// continue its trajectory from the following iteration. With no
+  /// checkpoint present, the run starts fresh. Checkpoint metadata
+  /// (seed/rank/dims) must match this run's, or cpAls throws.
+  bool resume = false;
   /// Invoked after each iteration (benches use it to snapshot per-scope
   /// metric totals at iteration boundaries).
   std::function<void(const CpAlsIterationStats&)> onIteration;

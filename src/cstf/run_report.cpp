@@ -1,5 +1,7 @@
 #include "cstf/run_report.hpp"
 
+#include <map>
+
 #include "common/json.hpp"
 
 namespace cstf::cstf_core {
@@ -19,6 +21,9 @@ void writeTotals(JsonWriter& w, const sparkle::MetricsTotals& t) {
   w.kv("sourceBytesRead", std::uint64_t{t.sourceBytesRead});
   w.kv("cacheBytesDeserialized", std::uint64_t{t.cacheBytesDeserialized});
   w.kv("taskRetries", std::uint64_t{t.taskRetries});
+  w.kv("lostNodes", std::uint64_t{t.lostNodes});
+  w.kv("recomputedMapTasks", std::uint64_t{t.recomputedMapTasks});
+  w.kv("evictedCacheBlocks", std::uint64_t{t.evictedCacheBlocks});
   w.kv("simTimeSec", t.simTimeSec);
   w.kv("wallTimeSec", t.wallTimeSec);
   w.endObject();
@@ -52,11 +57,38 @@ void finalizeRunReport(const sparkle::MetricsRegistry& metrics,
     out.shuffleBytesRemote = s.shuffleBytesRemote;
     out.shuffleBytesLocal = s.shuffleBytesLocal;
     out.taskRetries = s.taskRetries;
+    out.lostNodes = s.lostNodes;
+    out.recomputedMapTasks = s.recomputedMapTasks;
+    out.evictedCacheBlocks = s.evictedCacheBlocks;
     out.simTimeSec = s.simTimeSec;
     out.wallTimeSec = s.wallTimeSec;
     out.skew = sparkle::computeTaskSkew(s.tasks);
     out.reduceSkew = sparkle::computeRecordSkew(s.reduceRecordsByPartition);
     report.stages.push_back(std::move(out));
+  }
+
+  // Failure/recovery rollup over the same snapshot, grouped by the scope
+  // each stage was recorded under; scopes that never failed stay out.
+  report.failures = {};
+  std::map<std::string, FailureSummary::ScopeFailures> byScope;
+  for (const StageSummary& s : report.stages) {
+    report.failures.taskRetries += s.taskRetries;
+    report.failures.lostNodes += s.lostNodes;
+    report.failures.recomputedMapTasks += s.recomputedMapTasks;
+    report.failures.evictedCacheBlocks += s.evictedCacheBlocks;
+    if (s.taskRetries == 0 && s.lostNodes == 0 &&
+        s.recomputedMapTasks == 0 && s.evictedCacheBlocks == 0) {
+      continue;
+    }
+    FailureSummary::ScopeFailures& f = byScope[s.scope];
+    f.scope = s.scope;
+    f.taskRetries += s.taskRetries;
+    f.lostNodes += s.lostNodes;
+    f.recomputedMapTasks += s.recomputedMapTasks;
+    f.evictedCacheBlocks += s.evictedCacheBlocks;
+  }
+  for (auto& [scope, f] : byScope) {
+    report.failures.byScope.push_back(std::move(f));
   }
 }
 
@@ -75,6 +107,7 @@ std::string RunReport::toJson() const {
   w.kv("nodes", nodes);
   w.kv("converged", converged);
   w.kv("finalFit", finalFit);
+  w.kv("resumedFromIteration", resumedFromIteration);
 
   w.key("iterations");
   w.beginArray();
@@ -103,6 +136,7 @@ std::string RunReport::toJson() const {
       w.kv("sourceBytesRead", std::uint64_t{m.sourceBytesRead});
       w.kv("cacheBytesDeserialized",
            std::uint64_t{m.cacheBytesDeserialized});
+      w.kv("taskRetries", std::uint64_t{m.taskRetries});
       w.key("reduceSkew");
       writeRecordSkew(w, m.reduceSkew);
       w.endObject();
@@ -124,6 +158,9 @@ std::string RunReport::toJson() const {
     w.kv("shuffleBytesRemote", std::uint64_t{s.shuffleBytesRemote});
     w.kv("shuffleBytesLocal", std::uint64_t{s.shuffleBytesLocal});
     w.kv("taskRetries", std::uint64_t{s.taskRetries});
+    w.kv("lostNodes", std::uint64_t{s.lostNodes});
+    w.kv("recomputedMapTasks", std::uint64_t{s.recomputedMapTasks});
+    w.kv("evictedCacheBlocks", std::uint64_t{s.evictedCacheBlocks});
     w.kv("simTimeSec", s.simTimeSec);
     w.kv("wallTimeSec", s.wallTimeSec);
     w.key("skew");
@@ -141,6 +178,26 @@ std::string RunReport::toJson() const {
     w.endObject();
   }
   w.endArray();
+
+  w.key("failures");
+  w.beginObject();
+  w.kv("taskRetries", std::uint64_t{failures.taskRetries});
+  w.kv("lostNodes", std::uint64_t{failures.lostNodes});
+  w.kv("recomputedMapTasks", std::uint64_t{failures.recomputedMapTasks});
+  w.kv("evictedCacheBlocks", std::uint64_t{failures.evictedCacheBlocks});
+  w.key("byScope");
+  w.beginArray();
+  for (const FailureSummary::ScopeFailures& f : failures.byScope) {
+    w.beginObject();
+    w.kv("scope", f.scope);
+    w.kv("taskRetries", std::uint64_t{f.taskRetries});
+    w.kv("lostNodes", std::uint64_t{f.lostNodes});
+    w.kv("recomputedMapTasks", std::uint64_t{f.recomputedMapTasks});
+    w.kv("evictedCacheBlocks", std::uint64_t{f.evictedCacheBlocks});
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
 
   w.key("totals");
   writeTotals(w, totals);

@@ -33,6 +33,8 @@ struct ModeTelemetry {
   std::uint64_t flops = 0;
   std::uint64_t sourceBytesRead = 0;
   std::uint64_t cacheBytesDeserialized = 0;
+  /// Task attempts retried during this mode update (fault injection).
+  std::uint64_t taskRetries = 0;
   /// Reduce-task record skew pooled over this mode update's shuffles — the
   /// headline number of the skew-mitigation ablation.
   sparkle::RecordSkewStats reduceSkew;
@@ -62,11 +64,32 @@ struct StageSummary {
   std::uint64_t shuffleBytesRemote = 0;
   std::uint64_t shuffleBytesLocal = 0;
   std::uint64_t taskRetries = 0;
+  std::uint64_t lostNodes = 0;
+  std::uint64_t recomputedMapTasks = 0;
+  std::uint64_t evictedCacheBlocks = 0;
   double simTimeSec = 0.0;
   double wallTimeSec = 0.0;
   sparkle::TaskSkewStats skew;
   /// Reduce-side record distribution (shuffle stages only).
   sparkle::RecordSkewStats reduceSkew;
+};
+
+/// Failure/recovery summary of the run: task retries plus node-loss
+/// recovery work, overall and per metered scope (only scopes where
+/// something actually failed appear).
+struct FailureSummary {
+  struct ScopeFailures {
+    std::string scope;
+    std::uint64_t taskRetries = 0;
+    std::uint64_t lostNodes = 0;
+    std::uint64_t recomputedMapTasks = 0;
+    std::uint64_t evictedCacheBlocks = 0;
+  };
+  std::uint64_t taskRetries = 0;
+  std::uint64_t lostNodes = 0;
+  std::uint64_t recomputedMapTasks = 0;
+  std::uint64_t evictedCacheBlocks = 0;
+  std::vector<ScopeFailures> byScope;
 };
 
 struct RunReport {
@@ -79,12 +102,17 @@ struct RunReport {
   int nodes = 0;
   bool converged = false;
   double finalFit = 0.0;
+  /// Iteration a --resume run restarted after (0 = started fresh); the
+  /// `iterations` list then begins at resumedFromIteration + 1.
+  int resumedFromIteration = 0;
   std::vector<IterationTelemetry> iterations;
   /// Every stage the registry recorded during the run, in execution order.
   std::vector<StageSummary> stages;
   /// Registry totals at the end of the run; per-stage sums in `stages`
   /// match these exactly.
   sparkle::MetricsTotals totals;
+  /// Retry/recovery rollup of the same stage snapshot.
+  FailureSummary failures;
 
   std::string toJson() const;
 };

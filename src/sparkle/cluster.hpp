@@ -14,11 +14,52 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <vector>
 
 #include "common/error.hpp"
 #include "sparkle/partitioner.hpp"
 
 namespace cstf::sparkle {
+
+/// One scheduled node death: after the map side of stage `afterStage`
+/// completes (and before its outputs are fetched), node `node` goes down.
+struct NodeLossEvent {
+  std::uint64_t afterStage = 0;
+  int node = 0;
+};
+
+/// Correlated-failure model: where taskFailureRate kills single task
+/// *attempts*, a FaultPlan kills whole *nodes* at stage boundaries — the
+/// dominant real-cluster failure mode. A dead node takes its cached
+/// Dataset blocks and its shuffle map outputs with it; the reduce side
+/// then hits FetchFailedError and the engine re-runs only the missing map
+/// tasks, recomputing evicted cache blocks from lineage. Injection is
+/// deterministic in (seed, stageId, attempt) so faulted runs reproduce.
+struct FaultPlan {
+  /// Probability that a node dies at any given shuffle-stage boundary.
+  /// As with taskFailureRate, rates below 1 exempt the final stage
+  /// attempt so runs always complete; a rate >= 1 models a hard fault
+  /// and aborts the job after maxStageAttempts.
+  double nodeLossRate = 0.0;
+  /// Seed for the rate-driven injection hash (independent of data seeds).
+  std::uint64_t seed = 0xfa17ed;
+  /// Explicit kills, fired on the first attempt of their stage only (a
+  /// re-run of the same stage does not re-fire the event).
+  std::vector<NodeLossEvent> schedule;
+  /// Map-stage re-runs before the job aborts with JobAbortedError
+  /// (Spark's spark.stage.maxConsecutiveAttempts).
+  int maxStageAttempts = 4;
+  /// Simulated seconds charged to the stage per recovery round: failure
+  /// detection, executor re-registration, resubmission latency.
+  double stageRetryDelaySec = 0.25;
+  /// When false, the CSTF_CHAOS environment switch leaves this config
+  /// alone — for tests asserting exact metering that a surprise node
+  /// death would perturb.
+  bool allowEnvChaos = true;
+
+  bool enabled() const { return nodeLossRate > 0.0 || !schedule.empty(); }
+};
 
 /// Which framework behaviour the engine emulates.
 ///
@@ -101,6 +142,9 @@ struct ClusterConfig {
   /// Attempts per task before the job is failed (Spark's spark.task.maxFailures).
   int maxTaskAttempts = 4;
 
+  /// Correlated node-loss injection (see FaultPlan). Off by default.
+  FaultPlan faults;
+
   /// Cluster-wide default for heavy-hitter key handling in skew-aware
   /// operations (see SkewPolicy). kHash preserves the engine's historical
   /// behaviour exactly; callers (e.g. MttkrpOptions) may override per-op.
@@ -123,7 +167,29 @@ struct ClusterConfig {
     CSTF_CHECK(flopsPerSecPerCore > 0, "flop throughput must be positive");
     CSTF_CHECK(networkBytesPerSecPerNode > 0, "network bandwidth must be positive");
     CSTF_CHECK(diskBytesPerSecPerNode > 0, "disk bandwidth must be positive");
+    CSTF_CHECK(faults.nodeLossRate >= 0.0, "nodeLossRate must be >= 0");
+    CSTF_CHECK(faults.maxStageAttempts >= 1, "maxStageAttempts must be >= 1");
+    CSTF_CHECK(faults.stageRetryDelaySec >= 0.0,
+               "stageRetryDelaySec must be >= 0");
   }
 };
+
+/// CSTF_CHAOS: suite-wide node-loss injection for CI chaos runs. When the
+/// variable is set (and the config neither defines its own fault plan nor
+/// opted out), every Context gets a default node-loss rate — a numeric
+/// value in (0, 1) is used as the rate, anything else (e.g. "1", "on")
+/// selects a mild default. The retry delay is zeroed so absolute sim-time
+/// expectations are perturbed as little as possible; determinism is
+/// preserved because injection depends only on (seed, stageId, attempt).
+inline void applyChaosFromEnv(ClusterConfig& cfg) {
+  if (cfg.faults.enabled() || !cfg.faults.allowEnvChaos) return;
+  const char* v = std::getenv("CSTF_CHAOS");
+  if (v == nullptr || v[0] == '\0' || (v[0] == '0' && v[1] == '\0')) return;
+  char* end = nullptr;
+  const double rate = std::strtod(v, &end);
+  cfg.faults.nodeLossRate =
+      (end != v && *end == '\0' && rate > 0.0 && rate < 1.0) ? rate : 0.05;
+  cfg.faults.stageRetryDelaySec = 0.0;
+}
 
 }  // namespace cstf::sparkle

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_set>
 
 #include "common/buffer_pool.hpp"
 #include "common/thread_pool.hpp"
@@ -14,6 +16,8 @@
 #include "sparkle/partitioner.hpp"
 
 namespace cstf::sparkle {
+
+class DatasetBase;
 
 class Context {
  public:
@@ -31,6 +35,7 @@ class Context {
                                       16, 2 * static_cast<std::size_t>(
                                               config.numNodes))) {
     config_.validate();
+    applyChaosFromEnv(config_);
   }
 
   Context(const Context&) = delete;
@@ -69,6 +74,23 @@ class Context {
     return config_.mode == ExecutionMode::kSpark;
   }
 
+  /// Every live DatasetBase registers here (and unregisters on
+  /// destruction) so a simulated node death can reach all cached blocks —
+  /// the block-manager directory a Spark driver keeps per executor.
+  void registerDataset(DatasetBase* d) {
+    std::lock_guard<std::mutex> lock(datasetsMutex_);
+    datasets_.insert(d);
+  }
+  void unregisterDataset(DatasetBase* d) {
+    std::lock_guard<std::mutex> lock(datasetsMutex_);
+    datasets_.erase(d);
+  }
+
+  /// Drop every cached partition block placed on `node` across all live
+  /// datasets; returns the number of blocks evicted. Defined in
+  /// dataset.hpp (needs the complete DatasetBase type).
+  std::size_t evictCachedBlocksOnNode(int node);
+
  private:
   ClusterConfig config_;
   MetricsRegistry metrics_;
@@ -77,6 +99,8 @@ class Context {
   std::size_t defaultParallelism_;
   TraceRecorder* trace_ = &globalTrace();
   std::atomic<std::uint64_t> nextDatasetId_{1};
+  mutable std::mutex datasetsMutex_;
+  std::unordered_set<DatasetBase*> datasets_;
 };
 
 }  // namespace cstf::sparkle

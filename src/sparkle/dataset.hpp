@@ -44,6 +44,32 @@ inline bool injectTaskFailure(const ClusterConfig& cfg,
   return static_cast<double>(h >> 11) * 0x1.0p-53 < cfg.taskFailureRate;
 }
 
+/// Deterministic node-loss injection at a stage's fetch boundary: which
+/// node (if any) dies after stage `stageId`'s map side on its `attempt`-th
+/// run is a pure function of the FaultPlan. Scheduled events always fire
+/// (on attempt 0 of their stage); the rate-driven draw is consulted only
+/// when `allowRate` is set, which lets the caller exempt the final stage
+/// attempt so sub-1 rates cannot doom a job. Returns the dead node's id,
+/// or -1 for no loss.
+inline int injectNodeLoss(const ClusterConfig& cfg, std::uint64_t stageId,
+                          int attempt, bool allowRate) {
+  const FaultPlan& fp = cfg.faults;
+  if (attempt == 0) {
+    for (const NodeLossEvent& ev : fp.schedule) {
+      if (ev.afterStage == stageId) {
+        return ((ev.node % cfg.numNodes) + cfg.numNodes) % cfg.numNodes;
+      }
+    }
+  }
+  if (!allowRate || fp.nodeLossRate <= 0.0) return -1;
+  const std::uint64_t h =
+      mix64(mix64(fp.seed ^ stageId * 0x9e3779b97f4a7c15ULL) +
+            static_cast<std::uint64_t>(attempt));
+  if (static_cast<double>(h >> 11) * 0x1.0p-53 >= fp.nodeLossRate) return -1;
+  return static_cast<int>(mix64(h) %
+                          static_cast<std::uint64_t>(cfg.numNodes));
+}
+
 /// Run one task body with Spark-style fault tolerance: a failed attempt
 /// (the injected "executor lost after the work" case) is discarded —
 /// including its counters — and the body reruns, recomputing any uncached
@@ -53,12 +79,14 @@ inline bool injectTaskFailure(const ClusterConfig& cfg,
 /// For injection rates below 1 the final attempt is exempt from injection,
 /// so a fault-injected run always completes (deterministic injection would
 /// otherwise doom some task to maxTaskAttempts correlated failures). A
-/// rate >= 1 models a hard fault: the job aborts with cstf::Error after
-/// maxTaskAttempts attempts, as Spark does.
+/// rate >= 1 models a hard fault: the job aborts with TaskFailedError
+/// after maxTaskAttempts attempts, as Spark does. `opLabel` names the
+/// operation (e.g. the shuffle label) so the abort message identifies
+/// which op on which node died, not just numeric coordinates.
 template <typename Body>
 void runTaskWithRetries(Context* ctx, std::uint64_t stageId,
-                        std::size_t partition, TaskContext& out,
-                        Body&& body) {
+                        std::size_t partition, const std::string& opLabel,
+                        TaskContext& out, Body&& body) {
   const ClusterConfig& cfg = ctx->config();
   const int maxAttempts = std::max(1, cfg.maxTaskAttempts);
   for (int attempt = 0; attempt < maxAttempts; ++attempt) {
@@ -73,10 +101,11 @@ void runTaskWithRetries(Context* ctx, std::uint64_t stageId,
     }
     ctx->metrics().noteTaskRetry(stageId);
   }
-  throw Error(
-      "task permanently failed after " + std::to_string(maxAttempts) +
-      " attempts (stage " + std::to_string(stageId) + ", partition " +
-      std::to_string(partition) + ")");
+  throw TaskFailedError(
+      "task '" + opLabel + "' permanently failed after " +
+      std::to_string(maxAttempts) + " attempts (stage " +
+      std::to_string(stageId) + ", partition " + std::to_string(partition) +
+      ", node " + std::to_string(cfg.nodeOfPartition(partition)) + ")");
 }
 
 /// Immutable computed partition contents, shareable between consumers.
@@ -93,8 +122,9 @@ class DatasetBase {
   DatasetBase(Context* ctx, std::size_t numPartitions)
       : ctx_(ctx), numPartitions_(numPartitions), id_(ctx->nextDatasetId()) {
     CSTF_ASSERT(numPartitions > 0, "dataset needs >= 1 partition");
+    ctx_->registerDataset(this);
   }
-  virtual ~DatasetBase() = default;
+  virtual ~DatasetBase() { ctx_->unregisterDataset(this); }
 
   DatasetBase(const DatasetBase&) = delete;
   DatasetBase& operator=(const DatasetBase&) = delete;
@@ -113,6 +143,15 @@ class DatasetBase {
   /// Partitioner this dataset's output is known to respect, or null.
   const std::shared_ptr<Partitioner>& outputPartitioning() const {
     return partitioning_;
+  }
+
+  /// Node-death hook: drop every cached partition block this dataset holds
+  /// on `node` (round-robin placement) so lineage recomputes it on next
+  /// access. Returns the number of blocks evicted. Datasets without a
+  /// cache have nothing to lose.
+  virtual std::size_t dropCachedPartitionsOnNode(int node) {
+    (void)node;
+    return 0;
   }
 
  protected:
@@ -197,6 +236,27 @@ class Dataset : public DatasetBase {
     CSTF_CHECK(level != StorageLevel::kNone,
                "use unpersist() to disable caching");
     level_.store(level, std::memory_order_release);
+  }
+
+  std::size_t dropCachedPartitionsOnNode(int node) override {
+    if (level_.load(std::memory_order_acquire) == StorageLevel::kNone) {
+      return 0;
+    }
+    const ClusterConfig& cfg = this->ctx_->config();
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    std::size_t evicted = 0;
+    for (std::size_t p = 0; p < numPartitions_; ++p) {
+      if (cfg.nodeOfPartition(p) != node) continue;
+      if (p < rawCache_.size() && rawCache_[p]) {
+        rawCache_[p].reset();
+        ++evicted;
+      }
+      if (p < serCache_.size() && serCache_[p]) {
+        serCache_[p].reset();
+        ++evicted;
+      }
+    }
+    return evicted;
   }
 
   /// Drop memoized partitions and stop caching (Spark unpersist()).
@@ -579,5 +639,15 @@ class UnionDataset final : public Dataset<T> {
   std::shared_ptr<Dataset<T>> a_;
   std::shared_ptr<Dataset<T>> b_;
 };
+
+// Defined here rather than in context.hpp: walking the registry needs the
+// complete DatasetBase type. Called at stage boundaries only — map tasks
+// are never in flight while a node death is being applied.
+inline std::size_t Context::evictCachedBlocksOnNode(int node) {
+  std::lock_guard<std::mutex> lock(datasetsMutex_);
+  std::size_t evicted = 0;
+  for (DatasetBase* d : datasets_) evicted += d->dropCachedPartitionsOnNode(node);
+  return evicted;
+}
 
 }  // namespace cstf::sparkle

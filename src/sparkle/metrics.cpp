@@ -168,6 +168,9 @@ double MetricsRegistry::record(StageMetrics m, const StageCost& cost) {
   if (cfg.mode == ExecutionMode::kHadoop) {
     overhead += cfg.jobOverheadSec * cost.jobsStarted;
   }
+  // Node-loss recovery rounds stall the whole stage: failure detection
+  // plus resubmission latency, charged once per recovery round.
+  overhead += cost.recoveryDelaySec;
 
   m.simTimeSec = compute + network + disk + overhead;
   m.nodeBytesInRemote = cost.nodeShuffleBytesInRemote;
@@ -201,13 +204,14 @@ std::string MetricsRegistry::toCsv() const {
       "shuffle_bytes_local,broadcast_bytes,task_retries,sim_time_sec,"
       "wall_time_sec,tasks,task_p50_sec,task_p95_sec,task_max_sec,"
       "task_imbalance,heaviest_partition,reduce_partitions,"
-      "reduce_records_max,reduce_imbalance\n";
+      "reduce_records_max,reduce_imbalance,lost_nodes,"
+      "recomputed_map_tasks,evicted_cache_blocks\n";
   for (const auto& s : stages_) {
     const TaskSkewStats skew = computeTaskSkew(s.tasks);
     const RecordSkewStats rskew = computeRecordSkew(s.reduceRecordsByPartition);
     out += strprintf(
         "%llu,%llu,%s,%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.9g,"
-        "%.9g,%llu,%.9g,%.9g,%.9g,%.9g,%u,%llu,%.9g,%.9g\n",
+        "%.9g,%llu,%.9g,%.9g,%.9g,%.9g,%u,%llu,%.9g,%.9g,%llu,%llu,%llu\n",
         static_cast<unsigned long long>(s.stageId),
         static_cast<unsigned long long>(s.shuffleOpId), stageKindName(s.kind),
         csvField(s.scope).c_str(), csvField(s.label).c_str(),
@@ -223,7 +227,9 @@ std::string MetricsRegistry::toCsv() const {
         skew.p50Sec, skew.p95Sec, skew.maxSec, skew.imbalance,
         skew.heaviestPartition,
         static_cast<unsigned long long>(rskew.partitions), rskew.maxRecords,
-        rskew.imbalance);
+        rskew.imbalance, static_cast<unsigned long long>(s.lostNodes),
+        static_cast<unsigned long long>(s.recomputedMapTasks),
+        static_cast<unsigned long long>(s.evictedCacheBlocks));
   }
   return out;
 }
@@ -247,6 +253,9 @@ MetricsTotals MetricsRegistry::totalsLocked(
     t.sourceBytesRead += s.work.sourceBytesRead;
     t.cacheBytesDeserialized += s.work.cacheBytesDeserialized;
     t.taskRetries += s.taskRetries;
+    t.lostNodes += s.lostNodes;
+    t.recomputedMapTasks += s.recomputedMapTasks;
+    t.evictedCacheBlocks += s.evictedCacheBlocks;
     t.simTimeSec += s.simTimeSec;
     t.wallTimeSec += s.wallTimeSec;
   }
@@ -319,11 +328,25 @@ double MetricsRegistry::simTimeSec() const {
   return t;
 }
 
+std::uint64_t MetricsRegistry::taskRetriesForScope(
+    const std::string& scopePrefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& s : stages_) {
+    if (s.scope.rfind(scopePrefix, 0) != 0) continue;
+    total += s.taskRetries;
+  }
+  return total;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   stages_.clear();
   retriesByStage_.clear();
   taskRetries_.store(0, std::memory_order_relaxed);
+  lostNodes_.store(0, std::memory_order_relaxed);
+  recomputedMapTasks_.store(0, std::memory_order_relaxed);
+  evictedCacheBlocks_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace cstf::sparkle

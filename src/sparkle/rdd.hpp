@@ -561,7 +561,8 @@ class Rdd {
       const auto tt0 = std::chrono::steady_clock::now();
       TaskContext taskResult;
       Block<T> block;
-      runTaskWithRetries(ctx_, stageId, p, taskResult, [&](TaskContext& tc) {
+      runTaskWithRetries(ctx_, stageId, p, label, taskResult,
+                         [&](TaskContext& tc) {
         block = ds_->partition(p, tc);
       });
       const std::size_t want =
@@ -709,7 +710,8 @@ class Rdd {
       const double traceTs = rec.enabled() ? rec.nowMicros() : 0.0;
       const auto tt0 = std::chrono::steady_clock::now();
       TaskContext taskResult;
-      runTaskWithRetries(ctx_, stageId, p, taskResult, [&](TaskContext& tc) {
+      runTaskWithRetries(ctx_, stageId, p, label, taskResult,
+                         [&](TaskContext& tc) {
         Block<T> block = ds_->partition(p, tc);
         sink(p, std::move(block));
       });

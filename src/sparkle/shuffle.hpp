@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/strings.hpp"
 #include "sparkle/dataset.hpp"
 
 namespace cstf::sparkle {
@@ -77,6 +78,9 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
     std::vector<std::vector<std::uint8_t>> buckets;
     std::vector<std::uint32_t> bucketRecords;
     TaskCounters counters;
+    // Set when the node holding this map task's output died; the fetch
+    // refuses to proceed until the task has been re-run.
+    bool lost = false;
   };
 
   /// Fast path: pre-count records per destination, acquire exact-size
@@ -158,17 +162,19 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
     // ---- map side ----
     std::vector<MapOutput> mapOut(pIn);
     std::vector<TaskRecord> tasks(pIn);
-    ctx->pool().parallelFor(pIn, [&](std::size_t p) {
+    auto runMapTask = [&](std::size_t p) {
       TraceRecorder& rec = ctx->trace();
       const double traceTs = rec.enabled() ? rec.nowMicros() : 0.0;
       const auto tt0 = std::chrono::steady_clock::now();
       TaskContext taskResult;
-      runTaskWithRetries(ctx, stageId, p, taskResult, [&](TaskContext& tc) {
+      runTaskWithRetries(ctx, stageId, p, label_, taskResult,
+                         [&](TaskContext& tc) {
       Block<Rec> in = parent_->partition(p, tc);
 
       MapOutput& out = mapOut[p];
       out.buckets.assign(pOut, {});  // reset fully: the task may be a retry
       out.bucketRecords.assign(pOut, 0);
+      out.lost = false;
 
       if (combiner_) {
         std::unordered_map<K, V, StdKeyHash<K>> combined;
@@ -203,6 +209,7 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
       task.partition = static_cast<std::uint32_t>(p);
       task.node = static_cast<std::uint32_t>(cfg.nodeOfPartition(p));
       task.work = taskResult.counters;
+      task.shuffleBytesOut = 0;  // the task may be a recovery re-run
       for (std::size_t q = 0; q < pOut; ++q) {
         const std::uint64_t records = mapOut[p].bucketRecords[q];
         task.shuffleBytesOut +=
@@ -219,7 +226,84 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
             {{"records", std::to_string(task.work.recordsProcessed)},
              {"shuffleBytesOut", std::to_string(task.shuffleBytesOut)}});
       }
-    });
+    };
+    ctx->pool().parallelFor(pIn, runMapTask);
+
+    // ---- stage boundary: correlated node-loss fault model ----
+    // A node death here (between map completion and fetch) evicts every
+    // cached block the dead node held and drops its map outputs; the fetch
+    // below would hit FetchFailedError, so recovery re-runs exactly the
+    // missing map tasks — recomputing evicted cache blocks from lineage —
+    // until the outputs are whole or the attempt budget runs out.
+    std::uint64_t lostNodes = 0;
+    std::uint64_t recomputedMapTasks = 0;
+    std::uint64_t evictedCacheBlocks = 0;
+    double recoveryDelaySec = 0.0;
+    if (cfg.faults.enabled()) {
+      const int maxAttempts = std::max(1, cfg.faults.maxStageAttempts);
+      for (int attempt = 0;; ++attempt) {
+        const bool lastAttempt = attempt + 1 >= maxAttempts;
+        // Mirrors runTaskWithRetries: sub-1 rates skip the final attempt
+        // so jobs complete; a rate >= 1 is a hard fault and may not.
+        const bool allowRate = !lastAttempt || cfg.faults.nodeLossRate >= 1.0;
+        const int deadNode = injectNodeLoss(cfg, stageId, attempt, allowRate);
+        if (deadNode >= 0) {
+          ++lostNodes;
+          ctx->metrics().noteNodeLoss();
+          const std::size_t evicted = ctx->evictCachedBlocksOnNode(deadNode);
+          evictedCacheBlocks += evicted;
+          if (evicted > 0) ctx->metrics().noteEvictedCacheBlocks(evicted);
+          for (std::size_t p = 0; p < pIn; ++p) {
+            if (cfg.nodeOfPartition(p) != deadNode) continue;
+            for (auto& bucket : mapOut[p].buckets) {
+              ctx->bufferPool().release(std::move(bucket));
+            }
+            mapOut[p].buckets.clear();
+            mapOut[p].bucketRecords.clear();
+            mapOut[p].lost = true;
+          }
+          TraceRecorder& rec = ctx->trace();
+          if (rec.enabled()) {
+            rec.recordInstant(
+                "node-loss:" + label_, "fault",
+                {{"node", std::to_string(deadNode)},
+                 {"stage", std::to_string(stageId)},
+                 {"evictedCacheBlocks", std::to_string(evicted)}});
+          }
+        }
+        std::vector<std::size_t> missing;
+        for (std::size_t p = 0; p < pIn; ++p) {
+          if (mapOut[p].lost) missing.push_back(p);
+        }
+        if (missing.empty()) break;
+        // The fetch has hit missing map outputs. Past the attempt budget
+        // this is fatal; otherwise charge the recovery stall and re-run
+        // only the lost tasks.
+        const FetchFailedError fetchFailed(strprintf(
+            "fetch failed: %zu map output(s) of shuffle '%s' (stage %llu) "
+            "lost with node %d",
+            missing.size(), label_.c_str(),
+            static_cast<unsigned long long>(stageId), deadNode));
+        if (lastAttempt) {
+          throw JobAbortedError(strprintf(
+              "job aborted after %d stage attempt(s): %s", maxAttempts,
+              fetchFailed.what()));
+        }
+        recoveryDelaySec += cfg.faults.stageRetryDelaySec;
+        recomputedMapTasks += missing.size();
+        ctx->metrics().noteRecomputedMapTasks(missing.size());
+        ctx->pool().parallelFor(
+            missing.size(), [&](std::size_t i) { runMapTask(missing[i]); });
+        TraceRecorder& rec = ctx->trace();
+        if (rec.enabled()) {
+          rec.recordInstant(
+              "stage-recovery:" + label_, "fault",
+              {{"stage", std::to_string(stageId)},
+               {"attempt", std::to_string(attempt + 1)},
+               {"recomputedMapTasks", std::to_string(missing.size())}});
+        }
+      }
+    }
 
     // ---- reduce-side fetch ----
     // Each task writes only its own slot of the per-partition aggregate
@@ -290,6 +374,9 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
     m.shuffleRecords = totalRecords;
     m.shuffleBytesRemote = totalRemote;
     m.shuffleBytesLocal = totalLocal;
+    m.lostNodes = lostNodes;
+    m.recomputedMapTasks = recomputedMapTasks;
+    m.evictedCacheBlocks = evictedCacheBlocks;
     // Per-destination record counts: the reduce-task record-skew profile
     // (hot keys show up here as one overloaded destination partition).
     m.reduceRecordsByPartition = recordsByDst;
@@ -306,6 +393,7 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
     for (auto& sec : cost.nodeComputeSec) sec /= cfg.coresPerNode;
     cost.nodeShuffleBytesInRemote.assign(nodeRemoteIn.begin(),
                                          nodeRemoteIn.end());
+    cost.recoveryDelaySec = recoveryDelaySec;
     if (cfg.mode == ExecutionMode::kHadoop) {
       // Map outputs spill to local disk; reducers read them back; the job's
       // output is then committed to HDFS (approximated by the same volume).

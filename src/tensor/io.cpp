@@ -65,9 +65,14 @@ CooTensor readTns(std::istream& in, ModeId expectedOrder) {
 CooTensor readTnsFile(const std::string& path, ModeId expectedOrder) {
   std::ifstream in(path);
   if (!in) throw Error("cannot open tensor file: " + path);
-  CooTensor t = readTns(in, expectedOrder);
-  t.setName(path);
-  return t;
+  try {
+    CooTensor t = readTns(in, expectedOrder);
+    t.setName(path);
+    return t;
+  } catch (const Error& e) {
+    // Parse errors carry only line context; add which file it was.
+    throw Error(path + ": " + e.what());
+  }
 }
 
 void writeTns(std::ostream& out, const CooTensor& t) {
@@ -149,9 +154,13 @@ CooTensor readBinary(std::istream& in) {
 CooTensor readBinaryFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("cannot open tensor file: " + path);
-  CooTensor t = readBinary(in);
-  t.setName(path);
-  return t;
+  try {
+    CooTensor t = readBinary(in);
+    t.setName(path);
+    return t;
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  }
 }
 
 namespace {

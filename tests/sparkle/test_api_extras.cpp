@@ -119,9 +119,11 @@ TEST(ApiExtras, MetricsCsvHasHeaderAndRows) {
   }
   EXPECT_EQ(rows, ctx.metrics().stages().size());
   EXPECT_GE(scoped, 1u);
-  // Column count is stable: 23 commas per row (14 base columns + retries +
-  // 6 task-skew columns + 3 reduce-record-skew columns).
-  EXPECT_EQ(std::count(header.begin(), header.end(), ','), 23);
+  // Column count is stable: 26 commas per row (14 base columns + retries +
+  // 6 task-skew columns + 3 reduce-record-skew columns + 3 node-loss
+  // recovery columns).
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','), 26);
+  EXPECT_NE(header.find("recomputed_map_tasks"), std::string::npos);
   EXPECT_NE(header.find("reduce_imbalance"), std::string::npos);
 }
 

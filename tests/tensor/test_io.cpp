@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "tensor/generator.hpp"
@@ -90,6 +91,21 @@ TEST(TnsIo, FileRoundTrip) {
 
 TEST(TnsIo, MissingFileThrows) {
   EXPECT_THROW(readTnsFile("/nonexistent/path/to.tns"), Error);
+}
+
+TEST(TnsIo, ParseErrorsNameTheFile) {
+  const std::string path = testing::TempDir() + "/cstf_io_garbage.tns";
+  {
+    std::ofstream out(path);
+    out << "1 2 3 not-a-number\n";
+  }
+  try {
+    readTnsFile(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(BinaryIo, RoundTripsExactly) {

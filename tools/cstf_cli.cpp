@@ -22,6 +22,16 @@
 //   --trace-out P   write a Chrome-trace JSON (load in Perfetto / about:tracing)
 //   --report-out P  write the structured run report as JSON
 //   --metrics-csv P write per-stage engine metrics as CSV
+//   --checkpoint-dir D   persist ALS state into D (see --checkpoint-every)
+//   --checkpoint-every K write a checkpoint every K iterations (default 1)
+//   --resume D           continue from the latest checkpoint in D
+//   --node-loss-rate R   per-stage-boundary node-loss probability (chaos)
+//   --task-failure-rate R per-task-attempt failure probability (chaos)
+//   --fault-seed S       seed for the deterministic fault plan
+//   --max-stage-attempts N stage attempts before the job aborts (default 4)
+//
+// A job that exhausts its stage attempts exits with status 3; rerun with
+// --resume <checkpoint-dir> to continue from the last persisted state.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -49,7 +59,11 @@ int usage() {
                "                   [--skew-policy hash|frequency|replicate]\n"
                "                   [--nodes N] [--seed S] [--scale X]\n"
                "                   [--output PREFIX] [--trace-out P]\n"
-               "                   [--report-out P] [--metrics-csv P]\n");
+               "                   [--report-out P] [--metrics-csv P]\n"
+               "                   [--checkpoint-dir D] [--checkpoint-every K]\n"
+               "                   [--resume D] [--node-loss-rate R]\n"
+               "                   [--task-failure-rate R] [--fault-seed S]\n"
+               "                   [--max-stage-attempts N]\n");
   return 2;
 }
 
@@ -79,6 +93,13 @@ struct Args {
   std::string traceOut;
   std::string reportOut;
   std::string metricsCsv;
+  std::string checkpointDir;
+  int checkpointEvery = 1;
+  bool resume = false;
+  double nodeLossRate = 0.0;
+  double taskFailureRate = 0.0;
+  std::uint64_t faultSeed = 0xfa17ed;
+  int maxStageAttempts = 4;
 };
 
 bool parseArgs(int argc, char** argv, Args& a) {
@@ -139,6 +160,35 @@ bool parseArgs(int argc, char** argv, Args& a) {
       const char* v = next("--metrics-csv");
       if (!v) return false;
       a.metricsCsv = v;
+    } else if (arg == "--checkpoint-dir") {
+      const char* v = next("--checkpoint-dir");
+      if (!v) return false;
+      a.checkpointDir = v;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next("--checkpoint-every");
+      if (!v) return false;
+      a.checkpointEvery = std::atoi(v);
+    } else if (arg == "--resume") {
+      const char* v = next("--resume");
+      if (!v) return false;
+      a.checkpointDir = v;
+      a.resume = true;
+    } else if (arg == "--node-loss-rate") {
+      const char* v = next("--node-loss-rate");
+      if (!v) return false;
+      a.nodeLossRate = std::atof(v);
+    } else if (arg == "--task-failure-rate") {
+      const char* v = next("--task-failure-rate");
+      if (!v) return false;
+      a.taskFailureRate = std::atof(v);
+    } else if (arg == "--fault-seed") {
+      const char* v = next("--fault-seed");
+      if (!v) return false;
+      a.faultSeed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-stage-attempts") {
+      const char* v = next("--max-stage-attempts");
+      if (!v) return false;
+      a.maxStageAttempts = std::atoi(v);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -189,6 +239,10 @@ int cmdFactor(const Args& a, const std::string& spec) {
   sparkle::ClusterConfig cluster;
   cluster.numNodes = a.nodes;
   cluster.skewPolicy = sparkle::skewPolicyFromName(a.skewPolicy);
+  cluster.taskFailureRate = a.taskFailureRate;
+  cluster.faults.nodeLossRate = a.nodeLossRate;
+  cluster.faults.seed = a.faultSeed;
+  cluster.faults.maxStageAttempts = a.maxStageAttempts;
   const cstf_core::Backend backend = cstf_core::backendFromName(a.backend);
   if (backend == cstf_core::Backend::kBigtensor) {
     cluster.mode = sparkle::ExecutionMode::kHadoop;
@@ -202,12 +256,19 @@ int cmdFactor(const Args& a, const std::string& spec) {
   opts.tolerance = a.tol;
   opts.backend = backend;
   opts.seed = a.seed;
+  opts.checkpointDir = a.checkpointDir;
+  opts.checkpointEvery = a.checkpointEvery;
+  opts.resume = a.resume;
 
   std::printf("\nCP-ALS: rank %zu, backend %s, skew policy %s, "
               "%d simulated nodes\n",
               a.rank, cstf_core::backendName(backend),
               a.skewPolicy.c_str(), a.nodes);
   const auto result = cstf_core::cpAls(ctx, t, opts);
+  if (result.report.resumedFromIteration > 0) {
+    std::printf("resumed from checkpoint after iteration %d\n",
+                result.report.resumedFromIteration);
+  }
   for (const auto& it : result.iterations) {
     // Iteration 1 has no previous fit, so its delta is undefined.
     if (std::isfinite(it.fitDelta)) {
@@ -279,6 +340,19 @@ int main(int argc, char** argv) {
     if (cmd == "factor" && a.positional.size() == 1) {
       return cmdFactor(a, a.positional[0]);
     }
+  } catch (const JobAbortedError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    if (!a.checkpointDir.empty()) {
+      std::fprintf(stderr,
+                   "job aborted; rerun with --resume %s to continue from "
+                   "the last checkpoint\n",
+                   a.checkpointDir.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "job aborted; rerun with --checkpoint-dir to make jobs "
+                   "resumable\n");
+    }
+    return 3;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
