@@ -1,0 +1,177 @@
+// Serving-path benchmarks: point and batched prediction, top-k with and
+// without norm-bound pruning, and the closed-loop serving stack — naive
+// one-request-at-a-time vs the micro-batcher with coalescing and the
+// result cache. The serve suites export qps and p99_us counters; CI
+// checks both against the committed baseline and asserts the batched
+// configuration clears 5x the unbatched throughput.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/batcher.hpp"
+#include "serve/engine.hpp"
+
+namespace {
+
+using namespace cstf;
+using namespace cstf::serve;
+
+/// Recommender-shaped synthetic model: a large prunable item mode with
+/// power-law row magnitudes (popular items have big factor rows), a user
+/// mode, and a small context mode.
+CpModel syntheticModel() {
+  CpModel m;
+  m.rank = 16;
+  m.dims = {30000, 2000, 64};
+  Pcg32 rng(42);
+  m.lambda.resize(m.rank);
+  for (auto& l : m.lambda) l = rng.nextDouble(0.5, 2.0);
+  for (const Index d : m.dims) {
+    la::Matrix f(d, m.rank);
+    for (std::size_t i = 0; i < f.rows(); ++i) {
+      for (std::size_t r = 0; r < m.rank; ++r) f(i, r) = rng.nextGaussian();
+    }
+    m.factors.push_back(std::move(f));
+  }
+  // Item popularity decay: what makes Cauchy-Schwarz pruning bite.
+  la::Matrix& items = m.factors[0];
+  for (std::size_t i = 0; i < items.rows(); ++i) {
+    const double scale = 1.0 / std::pow(1.0 + double(i), 0.45);
+    for (std::size_t r = 0; r < m.rank; ++r) items(i, r) *= scale;
+  }
+  return m;
+}
+
+const Engine& sharedEngine() {
+  static const Engine engine(syntheticModel(), 2);
+  return engine;
+}
+
+void BM_PredictPoint(benchmark::State& state) {
+  const Engine& engine = sharedEngine();
+  Pcg32 rng(7);
+  std::vector<std::vector<Index>> queries(1024);
+  for (auto& q : queries) {
+    q = {rng.nextBounded(30000), rng.nextBounded(2000), rng.nextBounded(64)};
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.predict(queries[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictPoint);
+
+void BM_PredictBatch(benchmark::State& state) {
+  const Engine& engine = sharedEngine();
+  Pcg32 rng(7);
+  std::vector<std::vector<Index>> queries(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto& q : queries) {
+    q = {rng.nextBounded(30000), rng.nextBounded(2000), rng.nextBounded(64)};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.predictBatch(queries));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(queries.size()));
+}
+BENCHMARK(BM_PredictBatch)->Arg(1024);
+
+// arg: 0 = brute-force scan, 1 = norm-bound pruning.
+void BM_TopK(benchmark::State& state) {
+  const Engine& engine = sharedEngine();
+  TopKOptions opts;
+  opts.prune = state.range(0) != 0;
+  Pcg32 rng(11);
+  std::vector<std::vector<Index>> fixed(64);
+  for (auto& f : fixed) {
+    f = {0, rng.nextBounded(2000), rng.nextBounded(64)};
+  }
+  std::size_t i = 0;
+  std::uint64_t scanned = 0;
+  std::uint64_t queries = 0;
+  for (auto _ : state) {
+    const TopKResult r = engine.topK(0, fixed[i++ & 63], 10, opts);
+    scanned += r.stats.rowsScanned;
+    ++queries;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rows_scanned"] =
+      benchmark::Counter(double(scanned) / double(queries));
+}
+BENCHMARK(BM_TopK)->Arg(0)->Arg(1);
+
+/// Closed-loop load generation through the batcher: `clients` threads each
+/// submit-and-wait over a Zipf-popular universe of top-k requests.
+void serveLoop(benchmark::State& state, std::size_t clients,
+               const BatcherOptions& opts) {
+  auto engine = std::make_shared<const Engine>(syntheticModel(), 2);
+  Pcg32 setup(3);
+  std::vector<TopKRequest> universe(256);
+  for (auto& req : universe) {
+    req.mode = 0;
+    req.k = 20;
+    req.fixed = {0, setup.nextBounded(2000), setup.nextBounded(64)};
+  }
+  const ZipfSampler zipf(256, 1.1);
+  Batcher batcher(engine, opts);
+
+  constexpr std::size_t kPerClient = 128;
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&batcher, &universe, &zipf, c] {
+        Pcg32 rng(100 + c);
+        for (std::size_t i = 0; i < kPerClient; ++i) {
+          batcher.submit(universe[zipf.sample(rng)]).get();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  const std::int64_t total =
+      state.iterations() * static_cast<std::int64_t>(clients * kPerClient);
+  state.SetItemsProcessed(total);
+  const ServeStats stats = batcher.stats();
+  state.counters["qps"] =
+      benchmark::Counter(double(total), benchmark::Counter::kIsRate);
+  state.counters["p99_us"] =
+      benchmark::Counter(stats.latencyMicros.quantile(0.99));
+  state.counters["hit_rate"] = benchmark::Counter(
+      stats.cacheHits + stats.cacheMisses
+          ? double(stats.cacheHits) /
+                double(stats.cacheHits + stats.cacheMisses)
+          : 0.0);
+}
+
+void BM_ServeTopKUnbatched(benchmark::State& state) {
+  // One request at a time, no batching, no cache: every query pays a full
+  // top-k computation.
+  BatcherOptions opts;
+  opts.maxBatch = 1;
+  opts.cacheCapacity = 0;
+  serveLoop(state, 1, opts);
+}
+BENCHMARK(BM_ServeTopKUnbatched)->UseRealTime();
+
+void BM_ServeTopKBatched(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  BatcherOptions opts;
+  opts.maxBatch = clients;  // closed loop: batches fill, never stall
+  opts.maxDelayMicros = 200;
+  opts.cacheCapacity = 4096;
+  serveLoop(state, clients, opts);
+}
+BENCHMARK(BM_ServeTopKBatched)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

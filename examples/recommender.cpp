@@ -1,6 +1,9 @@
 // Context-aware recommendation from a user x item x daypart rating tensor —
 // the classic CP-decomposition application the paper's introduction
-// motivates (tensors representing multi-dimensional behavioural data).
+// motivates (tensors representing multi-dimensional behavioural data) —
+// carried all the way through the serving layer: train with CP-ALS,
+// export a CSTFMDL1 model file, load it back, and answer top-k queries
+// through serve::Engine the way an online recommender would.
 //
 // We plant a ground truth: three taste communities, each preferring a
 // disjoint item group, with community 2's preferences flipping between
@@ -9,10 +12,13 @@
 // out-of-community ones.
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "cstf/cstf.hpp"
+#include "serve/engine.hpp"
+#include "serve/model.hpp"
 #include "tensor/coo_tensor.hpp"
 
 using namespace cstf;
@@ -56,17 +62,6 @@ tensor::CooTensor observedRatings(double density, std::uint64_t seed) {
                            "ratings");
 }
 
-/// Predicted score from the CP model.
-double predict(const cstf_core::CpAlsResult& model, Index u, Index i,
-               Index d) {
-  double s = 0.0;
-  for (std::size_t r = 0; r < model.lambda.size(); ++r) {
-    s += model.lambda[r] * model.factors[0](u, r) * model.factors[1](i, r) *
-         model.factors[2](d, r);
-  }
-  return s;
-}
-
 }  // namespace
 
 int main() {
@@ -81,26 +76,40 @@ int main() {
   opts.maxIterations = 25;
   opts.backend = cstf_core::Backend::kQcoo;
   opts.tolerance = 1e-7;
-  auto model = cstf_core::cpAls(ctx, X, opts);
-  std::printf("model fit: %.4f (%zu iterations)\n\n", model.finalFit,
-              model.iterations.size());
+  auto result = cstf_core::cpAls(ctx, X, opts);
+  std::printf("model fit: %.4f (%zu iterations)\n", result.finalFit,
+              result.iterations.size());
 
-  // Rank all items for one user from each community, in the evening.
+  // Export the trained model the way `cstf factor --model-out` does, then
+  // serve from the file — the artifact an online recommender would ship.
+  serve::CpModel model;
+  model.rank = opts.rank;
+  model.dims = X.dims();
+  model.lambda = result.lambda;
+  model.factors = result.factors;
+  model.finalFit = result.finalFit;
+  const std::string path = serve::saveModel("recommender-model.cstf", model);
+  const serve::Engine engine(serve::loadModel(path));
+  std::printf("model exported to %s and reloaded for serving\n\n",
+              path.c_str());
+
+  // Rank all items for one user from each community, in the evening:
+  // top-k completion along the item mode, exact under norm-bound pruning.
   int inGroupTop = 0;
   int total = 0;
   for (Index u : {Index(0), Index(1), Index(2)}) {
-    std::vector<std::pair<double, Index>> scored;
-    for (Index i = 0; i < kItems; ++i) {
-      scored.push_back({predict(model, u, i, /*daypart=*/2), i});
-    }
-    std::sort(scored.rbegin(), scored.rend());
-    std::printf("user %u (community %d) — top 5 items in the evening:\n", u,
-                communityOf(u));
-    for (int k = 0; k < 5; ++k) {
-      const auto [score, item] = scored[k];
-      const bool match = itemGroupOf(item) == communityOf(u);
-      std::printf("  item %2u (group %d)%s  score %.2f\n", item,
-                  itemGroupOf(item), match ? " *" : "  ", score);
+    const serve::TopKResult top =
+        engine.topK(/*mode=*/1, {u, 0, /*daypart=*/2}, /*k=*/5);
+    std::printf("user %u (community %d) — top 5 items in the evening "
+                "(scored %llu of %u item rows, pruned %llu):\n",
+                u, communityOf(u),
+                static_cast<unsigned long long>(top.stats.rowsScanned),
+                kItems,
+                static_cast<unsigned long long>(top.stats.rowsPruned));
+    for (const serve::TopKEntry& e : top.entries) {
+      const bool match = itemGroupOf(e.index) == communityOf(u);
+      std::printf("  item %2u (group %d)%s  score %.2f\n", e.index,
+                  itemGroupOf(e.index), match ? " *" : "  ", e.score);
       inGroupTop += match ? 1 : 0;
       ++total;
     }
@@ -116,8 +125,8 @@ int main() {
   int n = 0;
   for (Index u = 2; u < kUsers; u += kCommunities) {
     for (Index i = Index(2 * (kItems / 3)); i < kItems; ++i) {
-      evening += predict(model, u, i, 2);
-      morning += predict(model, u, i, 0);
+      evening += engine.predict({u, i, 2});
+      morning += engine.predict({u, i, 0});
       ++n;
     }
   }

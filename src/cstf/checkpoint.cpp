@@ -1,12 +1,16 @@
 #include "cstf/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/strings.hpp"
 
 namespace cstf::cstf_core {
@@ -141,23 +145,38 @@ std::string saveCheckpoint(const std::string& dir,
 std::optional<CpAlsCheckpoint> loadLatestCheckpoint(const std::string& dir) {
   std::error_code ec;
   if (dir.empty() || !fs::is_directory(dir, ec)) return std::nullopt;
-  int best = -1;
-  fs::path bestPath;
+  std::vector<std::pair<int, fs::path>> candidates;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     const int iter = checkpointIterationOf(entry.path().filename().string());
-    if (iter > best) {
-      best = iter;
-      bestPath = entry.path();
+    if (iter >= 0) candidates.emplace_back(iter, entry.path());
+  }
+  if (candidates.empty()) return std::nullopt;
+  // Newest first; a checkpoint that was truncated by a crashed writer or a
+  // flaky disk should cost the iterations since the previous save, not the
+  // whole resume (serving leans on this load path too).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::string newestError;
+  for (const auto& [iter, path] : candidates) {
+    try {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) throw Error("cannot read checkpoint: " + path.string());
+      CpAlsCheckpoint ck = readCheckpoint(in);
+      if (!newestError.empty()) {
+        CSTF_LOG_WARN("falling back to checkpoint %s (iteration %d)",
+                      path.string().c_str(), iter);
+      }
+      return ck;
+    } catch (const Error& e) {
+      const std::string msg = path.string() + ": " + e.what();
+      CSTF_LOG_WARN("skipping unreadable checkpoint %s", msg.c_str());
+      if (newestError.empty()) newestError = msg;
     }
   }
-  if (best < 0) return std::nullopt;
-  std::ifstream in(bestPath, std::ios::binary);
-  if (!in) throw Error("cannot read checkpoint: " + bestPath.string());
-  try {
-    return readCheckpoint(in);
-  } catch (const Error& e) {
-    throw Error(bestPath.string() + ": " + e.what());
-  }
+  throw Error(strprintf("no readable checkpoint in '%s' (%zu file(s) "
+                        "unreadable); newest failure: %s",
+                        dir.c_str(), candidates.size(),
+                        newestError.c_str()));
 }
 
 }  // namespace cstf::cstf_core

@@ -1,0 +1,247 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace cstf::serve {
+
+namespace {
+
+void histogramJson(JsonWriter& w, const Histogram& h) {
+  w.beginObject();
+  w.kv("count", static_cast<std::uint64_t>(h.count()));
+  w.kv("mean", h.mean());
+  w.kv("p50", h.quantile(0.50));
+  w.kv("p95", h.quantile(0.95));
+  w.kv("p99", h.quantile(0.99));
+  w.kv("max", h.max());
+  w.endObject();
+}
+
+}  // namespace
+
+std::string serveReportJson(const ServeStats& s) {
+  JsonWriter w;
+  w.beginObject();
+  w.kv("schema", "cstf-serve-report-v1");
+  w.kv("submitted", s.submitted);
+  w.kv("completed", s.completed);
+  w.kv("elapsedSec", s.elapsedSec);
+  w.kv("qps", s.qps);
+  w.key("cache");
+  w.beginObject();
+  w.kv("hits", s.cacheHits);
+  w.kv("misses", s.cacheMisses);
+  const std::uint64_t lookups = s.cacheHits + s.cacheMisses;
+  w.kv("hitRate", lookups ? double(s.cacheHits) / double(lookups) : 0.0);
+  w.kv("coalesced", s.coalesced);
+  w.endObject();
+  w.key("batches");
+  w.beginObject();
+  w.kv("count", s.batches);
+  w.kv("flushFull", s.flushFull);
+  w.kv("flushDeadline", s.flushDeadline);
+  w.key("size");
+  histogramJson(w, s.batchSizes);
+  w.endObject();
+  w.kv("reloads", s.reloads);
+  w.key("latencyMicros");
+  histogramJson(w, s.latencyMicros);
+  w.endObject();
+  return w.take();
+}
+
+Batcher::Batcher(std::shared_ptr<const Engine> engine, BatcherOptions opts,
+                 TraceRecorder& trace)
+    : opts_(opts),
+      trace_(trace),
+      cache_(opts.cacheCapacity, opts.cacheShards),
+      start_(std::chrono::steady_clock::now()),
+      engine_(std::move(engine)) {
+  CSTF_CHECK(engine_ != nullptr, "batcher needs an engine");
+  CSTF_CHECK(opts_.maxBatch >= 1, "maxBatch must be >= 1");
+  dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+Batcher::~Batcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+}
+
+std::future<Batcher::ResultPtr> Batcher::submit(TopKRequest req) {
+  Pending p;
+  p.req = std::move(req);
+  p.enqueued = std::chrono::steady_clock::now();
+  std::future<ResultPtr> fut = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CSTF_CHECK(!stop_, "batcher is shutting down");
+    queue_.push_back(std::move(p));
+  }
+  cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++stats_.submitted;
+  }
+  return fut;
+}
+
+void Batcher::reload(std::shared_ptr<const Engine> engine) {
+  CSTF_CHECK(engine != nullptr, "cannot reload a null engine");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    engine_ = std::move(engine);
+    ++version_;
+  }
+  // In-flight batches hold the old engine snapshot; the version bump keeps
+  // their results out of the cache, so clearing here is race-free.
+  cache_.clear();
+  {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++stats_.reloads;
+  }
+}
+
+std::shared_ptr<const Engine> Batcher::engine() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return engine_;
+}
+
+ServeStats Batcher::stats() const {
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  ServeStats s = stats_;
+  s.elapsedSec = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+  s.qps = s.elapsedSec > 0.0 ? double(s.completed) / s.elapsedSec : 0.0;
+  return s;
+}
+
+void Batcher::dispatchLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Let the batch fill, but never hold the oldest request past its
+    // delay budget. Shutdown flushes immediately.
+    const auto deadline =
+        queue_.front().enqueued +
+        std::chrono::microseconds(opts_.maxDelayMicros);
+    while (!stop_ && queue_.size() < opts_.maxBatch &&
+           cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+    }
+    const bool full = queue_.size() >= opts_.maxBatch;
+    std::vector<Pending> batch;
+    batch.reserve(std::min(queue_.size(), opts_.maxBatch));
+    while (!queue_.empty() && batch.size() < opts_.maxBatch) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    const std::shared_ptr<const Engine> engine = engine_;
+    const std::uint64_t version = version_;
+    lock.unlock();
+    processBatch(batch, engine, version, full);
+    lock.lock();
+  }
+}
+
+void Batcher::processBatch(std::vector<Pending>& batch,
+                           const std::shared_ptr<const Engine>& engine,
+                           std::uint64_t version, bool full) {
+  TraceSpan span(trace_, "serve:batch", "serve");
+
+  // Coalesce duplicates: one computation per distinct request.
+  std::unordered_map<TopKRequest, std::vector<std::size_t>, TopKRequestHash>
+      groups;
+  groups.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    groups[batch[i].req].push_back(i);
+  }
+
+  const bool cacheOn = cache_.capacity() > 0 && opts_.cacheCapacity > 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  struct Answer {
+    ResultPtr result;
+    std::exception_ptr error;
+    const std::vector<std::size_t>* members;
+  };
+  std::vector<Answer> answers;
+  answers.reserve(groups.size());
+  for (auto& [req, members] : groups) {
+    Answer ans;
+    ans.members = &members;
+    ans.result = cacheOn ? cache_.get(req) : nullptr;
+    if (ans.result) {
+      ++hits;
+    } else {
+      ++misses;
+      try {
+        ans.result = std::make_shared<const TopKResult>(
+            engine->topK(req.mode, req.fixed, req.k));
+      } catch (...) {
+        ans.error = std::current_exception();
+      }
+      if (ans.result && cacheOn) {
+        // Drop the insert if a reload happened since this batch snapshot;
+        // a result from the old engine must not survive into the new
+        // cache generation.
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (version_ == version) cache_.put(req, ans.result);
+      }
+    }
+    answers.push_back(std::move(ans));
+  }
+
+  if (span.active()) {
+    span.arg("requests", std::uint64_t(batch.size()));
+    span.arg("unique", std::uint64_t(groups.size()));
+    span.arg("cacheHits", hits);
+  }
+
+  // Account the batch before fulfilling any promise so that once every
+  // client has its answer, stats() is guaranteed to have seen the batch
+  // (submitted == completed after clients drain).
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++stats_.batches;
+    if (full) {
+      ++stats_.flushFull;
+    } else {
+      ++stats_.flushDeadline;
+    }
+    stats_.batchSizes.record(double(batch.size()));
+    stats_.completed += batch.size();
+    stats_.cacheHits += hits;
+    stats_.cacheMisses += misses;
+    stats_.coalesced += batch.size() - groups.size();
+    for (const Pending& p : batch) {
+      stats_.latencyMicros.record(
+          std::chrono::duration<double, std::micro>(now - p.enqueued)
+              .count());
+    }
+  }
+
+  for (Answer& ans : answers) {
+    for (const std::size_t i : *ans.members) {
+      if (ans.error) {
+        batch[i].promise.set_exception(ans.error);
+      } else {
+        batch[i].promise.set_value(ans.result);
+      }
+    }
+  }
+}
+
+}  // namespace cstf::serve

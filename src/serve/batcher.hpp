@@ -1,0 +1,150 @@
+// Micro-batching admission layer in front of the query engine.
+//
+// Concurrent clients submit() top-k requests and get futures; a dispatcher
+// thread coalesces the queue into batches — flushing when either maxBatch
+// requests are pending (a "full" flush) or the oldest pending request has
+// waited maxDelayMicros (a "deadline" flush, the latency SLO bound) — then
+// answers each distinct request once per batch: duplicate in-flight
+// requests share one computation, repeats across batches hit the sharded
+// LRU result cache. reload() swaps the engine for a retrained model and
+// invalidates the cache atomically with respect to in-flight batches (a
+// batch computed against the old engine can never poison the new cache).
+//
+// Every request's admission-to-completion latency and every batch's size
+// land in common/histogram; stats() snapshots them, and serveReportJson()
+// renders the whole picture (qps, p50/p95/p99/max, batch-size
+// distribution, cache hit rate) as a cstf-serve-report-v1 JSON document.
+// When tracing is enabled each dispatched batch records a "serve:batch"
+// span with request/unique/hit counts.
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/trace.hpp"
+#include "common/types.hpp"
+#include "serve/cache.hpp"
+#include "serve/engine.hpp"
+
+namespace cstf::serve {
+
+struct TopKRequest {
+  ModeId mode = 0;
+  /// One index per mode; the entry at `mode` is ignored.
+  std::vector<Index> fixed;
+  std::size_t k = 10;
+
+  friend bool operator==(const TopKRequest& a, const TopKRequest& b) {
+    return a.mode == b.mode && a.k == b.k && a.fixed == b.fixed;
+  }
+};
+
+struct TopKRequestHash {
+  std::size_t operator()(const TopKRequest& r) const {
+    std::uint64_t h = mix64(r.mode * 0x9e3779b97f4a7c15ULL + r.k);
+    for (const Index i : r.fixed) h = mix64(h ^ i);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct BatcherOptions {
+  /// Flush as soon as this many requests are pending.
+  std::size_t maxBatch = 32;
+  /// Flush when the oldest pending request has waited this long.
+  std::uint64_t maxDelayMicros = 200;
+  /// Total result-cache entries; 0 disables caching.
+  std::size_t cacheCapacity = 4096;
+  std::size_t cacheShards = 8;
+};
+
+/// Point-in-time snapshot of the batcher's counters.
+struct ServeStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  /// Per distinct request per batch: answered from cache / computed.
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  /// Duplicate requests that shared another request's computation within
+  /// one batch.
+  std::uint64_t coalesced = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t flushFull = 0;
+  std::uint64_t flushDeadline = 0;
+  std::uint64_t reloads = 0;
+  double elapsedSec = 0.0;
+  /// completed / elapsedSec.
+  double qps = 0.0;
+  /// Admission-to-completion latency per request, microseconds.
+  Histogram latencyMicros;
+  /// Requests per dispatched batch.
+  Histogram batchSizes;
+};
+
+/// Render `s` as a cstf-serve-report-v1 JSON document.
+std::string serveReportJson(const ServeStats& s);
+
+class Batcher {
+ public:
+  using ResultPtr = std::shared_ptr<const TopKResult>;
+
+  Batcher(std::shared_ptr<const Engine> engine, BatcherOptions opts = {},
+          TraceRecorder& trace = globalTrace());
+  /// Drains every pending request before returning.
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Enqueue a request; the future resolves when its batch completes (or
+  /// carries the engine's exception for an invalid request).
+  std::future<ResultPtr> submit(TopKRequest req);
+
+  /// Swap in a retrained model and invalidate the cache. Requests already
+  /// admitted may still be answered by the previous engine; results they
+  /// compute are not cached.
+  void reload(std::shared_ptr<const Engine> engine);
+
+  std::shared_ptr<const Engine> engine() const;
+  ServeStats stats() const;
+
+ private:
+  struct Pending {
+    TopKRequest req;
+    std::promise<ResultPtr> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void dispatchLoop();
+  void processBatch(std::vector<Pending>& batch,
+                    const std::shared_ptr<const Engine>& engine,
+                    std::uint64_t version, bool full);
+
+  const BatcherOptions opts_;
+  TraceRecorder& trace_;
+  ShardedLruCache<TopKRequest, TopKResult, TopKRequestHash> cache_;
+  const std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mutex_;  // queue + engine + version + stop flag
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  std::shared_ptr<const Engine> engine_;
+  std::uint64_t version_ = 0;
+  bool stop_ = false;
+
+  mutable std::mutex statsMutex_;
+  ServeStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace cstf::serve

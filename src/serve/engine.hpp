@@ -1,0 +1,108 @@
+// Read-side query engine over a trained CP model.
+//
+// CP factors answer two query shapes that recommendation workloads need
+// (HaTen2/SALS line of work — "serve the completed tensor"):
+//
+//  * point reconstruction  x(i_1..i_N) = sum_r lambda_r prod_m A_m(i_m, r)
+//  * top-k completion      fix every mode but one, rank that mode's rows
+//
+// At construction the engine folds lambda into the mode-0 factor (one
+// multiply per entry, so predictions stay bit-identical to
+// tensor::denseReconstruction's evaluation order) and precomputes per-row
+// L2 norms plus a norm-descending visit order per mode. Top-k then scores
+// rows against the query vector w (the Hadamard product of the fixed
+// modes' rows) with Cauchy-Schwarz pruning: score(i) = <A_mode(i,:), w> is
+// bounded by ||A_mode(i,:)|| * ||w||, so once the candidate heap holds k
+// entries every row whose bound falls below the current k-th best score —
+// and, rows being visited in norm order, every row after it — is skipped
+// without touching its data. Blocks of the visit order run in parallel on
+// common/thread_pool, sharing the pruning floor through an atomic; the
+// merged result is exact (ties broken by ascending index), independent of
+// thread count and of whether pruning is enabled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "la/matrix.hpp"
+#include "serve/model.hpp"
+
+namespace cstf::serve {
+
+struct TopKEntry {
+  Index index = 0;
+  double score = 0.0;
+
+  friend bool operator==(const TopKEntry& a, const TopKEntry& b) {
+    return a.index == b.index && a.score == b.score;
+  }
+};
+
+struct TopKOptions {
+  /// Norm-bound pruning; off gives the brute-force scan (same results).
+  bool prune = true;
+  /// Rows per parallel work unit.
+  std::size_t blockRows = 512;
+};
+
+struct TopKStats {
+  /// Rows whose dot product was actually computed.
+  std::uint64_t rowsScanned = 0;
+  /// Rows skipped by the norm bound.
+  std::uint64_t rowsPruned = 0;
+};
+
+struct TopKResult {
+  /// Best first: (score descending, index ascending).
+  std::vector<TopKEntry> entries;
+  TopKStats stats;
+};
+
+class Engine {
+ public:
+  /// `threads == 0` sizes the pool to the hardware. All query methods are
+  /// const and safe to call concurrently.
+  explicit Engine(CpModel model, std::size_t threads = 0);
+
+  ModeId order() const { return static_cast<ModeId>(dims_.size()); }
+  std::size_t rank() const { return rank_; }
+  const std::vector<Index>& dims() const { return dims_; }
+  const std::vector<double>& lambda() const { return lambda_; }
+  double finalFit() const { return finalFit_; }
+
+  /// Reconstruct one cell; `indices` holds one index per mode.
+  double predict(const std::vector<Index>& indices) const;
+
+  /// Reconstruct a batch of cells; processed in blocks (parallel across
+  /// the pool for large batches) with results in input order, identical to
+  /// per-query predict().
+  std::vector<double> predictBatch(
+      const std::vector<std::vector<Index>>& queries) const;
+
+  /// Top-k completion along `mode`: `fixed` holds one index per mode (the
+  /// entry at `mode` is ignored); returns the k rows of that mode with the
+  /// highest reconstructed values.
+  TopKResult topK(ModeId mode, const std::vector<Index>& fixed,
+                  std::size_t k, const TopKOptions& opts = {}) const;
+
+ private:
+  double predictOne(const Index* idx) const;
+  void validateQuery(const std::vector<Index>& indices) const;
+
+  std::size_t rank_ = 0;
+  std::vector<Index> dims_;
+  std::vector<double> lambda_;
+  double finalFit_ = 0.0;
+  /// Factor matrices with lambda folded into mode 0.
+  std::vector<la::Matrix> folded_;
+  /// Per mode: L2 norm of each (folded) factor row.
+  std::vector<std::vector<double>> rowNorm_;
+  /// Per mode: row ids sorted by norm descending (index ascending on ties).
+  std::vector<std::vector<Index>> normOrder_;
+  mutable ThreadPool pool_;
+};
+
+}  // namespace cstf::serve

@@ -1,0 +1,101 @@
+// Log-linear histogram: exact extremes, bounded quantile error, merge
+// equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace cstf {
+namespace {
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, SingleValueIsExactEverywhere) {
+  Histogram h;
+  h.record(42.5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42.5);
+  EXPECT_EQ(h.max(), 42.5);
+  EXPECT_EQ(h.mean(), 42.5);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    // Clamping to [min, max] makes every quantile exact here.
+    EXPECT_EQ(h.quantile(q), 42.5) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantilesStayWithinRelativeError) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.record(double(i));
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 10000.0);
+  EXPECT_NEAR(h.mean(), 5000.5, 1e-9);
+  // ~3% relative bucket resolution; allow 5%.
+  EXPECT_NEAR(h.quantile(0.50), 5000.0, 0.05 * 5000.0);
+  EXPECT_NEAR(h.quantile(0.95), 9500.0, 0.05 * 9500.0);
+  EXPECT_NEAR(h.quantile(0.99), 9900.0, 0.05 * 9900.0);
+  EXPECT_EQ(h.quantile(1.0), 10000.0);
+}
+
+TEST(Histogram, MergeMatchesRecordingEverythingInOne) {
+  Histogram a;
+  Histogram b;
+  Histogram all;
+  for (int i = 0; i < 500; ++i) {
+    const double v = 0.001 * double(i * i + 1);
+    (i % 2 ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  // Addition order differs between the split and combined streams, so the
+  // running sums may differ in the last bits.
+  EXPECT_NEAR(a.sum(), all.sum(), 1e-9 * all.sum());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    // Identical bucket contents make merged quantiles exactly equal.
+    EXPECT_EQ(a.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, NonPositiveValuesLandInTheBottomBucket) {
+  Histogram h;
+  h.record(-5.0);
+  h.record(0.0);
+  h.record(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), -5.0);
+  EXPECT_EQ(h.max(), 3.0);
+  EXPECT_EQ(h.quantile(0.0), -5.0);
+  EXPECT_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(Histogram, OutOfRangeMagnitudesKeepExactExtremes) {
+  Histogram h;
+  h.record(1e-300);
+  h.record(1e300);
+  EXPECT_EQ(h.min(), 1e-300);
+  EXPECT_EQ(h.max(), 1e300);
+  EXPECT_EQ(h.quantile(0.0), 1e-300);
+  EXPECT_EQ(h.quantile(1.0), 1e300);
+}
+
+TEST(Histogram, ResetForgetsEverything) {
+  Histogram h;
+  h.record(7.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+}  // namespace
+}  // namespace cstf

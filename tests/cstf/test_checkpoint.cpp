@@ -121,6 +121,40 @@ TEST(Checkpoint, MissingOrEmptyDirectoryMeansFreshStart) {
   EXPECT_FALSE(loadLatestCheckpoint(freshDir("empty")).has_value());
 }
 
+TEST(Checkpoint, FallsBackToNewestReadableCheckpoint) {
+  const std::string dir = freshDir("fallback");
+  CpAlsCheckpoint c;
+  c.rank = 2;
+  c.dims = {3, 3};
+  c.lambda = {1.0, 1.0};
+  c.factors = {patterned(3, 2), patterned(3, 2)};
+  for (int iter : {2, 5}) {
+    c.iteration = iter;
+    saveCheckpoint(dir, c);
+  }
+  // The newest checkpoint is truncated (a crashed writer, a flaky disk):
+  // resume must fall back to iteration 5, not fail the whole job.
+  std::ofstream(dir + "/ckpt-000009.bin", std::ios::binary)
+      << "CSTFCKP1 then junk";
+  const auto latest = loadLatestCheckpoint(dir);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->iteration, 5);
+}
+
+TEST(Checkpoint, AllCorruptThrowsNamingTheNewest) {
+  const std::string dir = freshDir("allcorrupt");
+  std::ofstream(dir + "/ckpt-000001.bin", std::ios::binary) << "junk 1";
+  const std::string newest = dir + "/ckpt-000004.bin";
+  std::ofstream(newest, std::ios::binary) << "junk 4";
+  try {
+    loadLatestCheckpoint(dir);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(newest), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Checkpoint, CorruptCheckpointReportsItsPath) {
   const std::string dir = freshDir("corrupt");
   const std::string path = dir + "/ckpt-000003.bin";

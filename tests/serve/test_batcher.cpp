@@ -1,0 +1,219 @@
+// Micro-batcher: full-batch and deadline flushes, duplicate coalescing,
+// cross-batch caching, reload invalidation, error propagation, and a
+// concurrency stress that TSan watches in CI.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/batcher.hpp"
+
+namespace cstf::serve {
+namespace {
+
+CpModel randomModel(std::vector<Index> dims, std::size_t rank,
+                    std::uint64_t seed) {
+  CpModel m;
+  m.rank = rank;
+  m.dims = std::move(dims);
+  Pcg32 rng(seed);
+  m.lambda.resize(rank);
+  for (auto& l : m.lambda) l = rng.nextDouble(0.5, 2.0);
+  for (const Index d : m.dims) {
+    la::Matrix f(d, rank);
+    for (std::size_t i = 0; i < f.rows(); ++i) {
+      for (std::size_t r = 0; r < rank; ++r) f(i, r) = rng.nextGaussian();
+    }
+    m.factors.push_back(std::move(f));
+  }
+  return m;
+}
+
+std::shared_ptr<const Engine> makeEngine(std::uint64_t seed) {
+  return std::make_shared<const Engine>(randomModel({50, 20, 20}, 3, seed),
+                                        2);
+}
+
+TopKRequest req(Index j, Index k, std::size_t topk = 5) {
+  TopKRequest r;
+  r.mode = 0;
+  r.fixed = {0, j, k};
+  r.k = topk;
+  return r;
+}
+
+TEST(Batcher, FullBatchFlushesWithoutWaitingForTheDeadline) {
+  BatcherOptions opts;
+  opts.maxBatch = 4;
+  opts.maxDelayMicros = 10'000'000;  // the deadline never fires in-test
+  Batcher b(makeEngine(1), opts);
+  std::vector<std::future<Batcher::ResultPtr>> futs;
+  for (Index i = 0; i < 4; ++i) futs.push_back(b.submit(req(i, i)));
+  for (auto& f : futs) ASSERT_NE(f.get(), nullptr);
+  const ServeStats s = b.stats();
+  EXPECT_EQ(s.submitted, 4u);
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.flushFull, 1u);
+  EXPECT_EQ(s.flushDeadline, 0u);
+  EXPECT_EQ(s.batchSizes.max(), 4.0);
+}
+
+TEST(Batcher, DeadlineFlushesAPartialBatch) {
+  BatcherOptions opts;
+  opts.maxBatch = 100;
+  opts.maxDelayMicros = 500;
+  Batcher b(makeEngine(2), opts);
+  auto f1 = b.submit(req(1, 1));
+  auto f2 = b.submit(req(2, 2));
+  ASSERT_NE(f1.get(), nullptr);
+  ASSERT_NE(f2.get(), nullptr);
+  const ServeStats s = b.stats();
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.flushFull, 0u);
+  EXPECT_GE(s.flushDeadline, 1u);
+}
+
+TEST(Batcher, DuplicatesWithinABatchShareOneComputation) {
+  BatcherOptions opts;
+  opts.maxBatch = 4;
+  opts.maxDelayMicros = 10'000'000;
+  Batcher b(makeEngine(3), opts);
+  std::vector<std::future<Batcher::ResultPtr>> futs;
+  for (int i = 0; i < 4; ++i) futs.push_back(b.submit(req(7, 7)));
+  std::vector<Batcher::ResultPtr> results;
+  for (auto& f : futs) results.push_back(f.get());
+  // One computation, shared by pointer.
+  for (const auto& r : results) EXPECT_EQ(r, results[0]);
+  const ServeStats s = b.stats();
+  EXPECT_EQ(s.coalesced, 3u);
+  EXPECT_EQ(s.cacheMisses, 1u);
+  EXPECT_EQ(s.cacheHits, 0u);
+}
+
+TEST(Batcher, RepeatsAcrossBatchesHitTheCache) {
+  BatcherOptions opts;
+  opts.maxBatch = 1;  // every submit is its own batch
+  Batcher b(makeEngine(4), opts);
+  const auto first = b.submit(req(9, 3)).get();
+  const auto second = b.submit(req(9, 3)).get();
+  EXPECT_EQ(first, second);  // served from cache: the same object
+  const ServeStats s = b.stats();
+  EXPECT_EQ(s.cacheMisses, 1u);
+  EXPECT_EQ(s.cacheHits, 1u);
+}
+
+TEST(Batcher, CacheCapacityZeroDisablesCaching) {
+  BatcherOptions opts;
+  opts.maxBatch = 1;
+  opts.cacheCapacity = 0;
+  Batcher b(makeEngine(5), opts);
+  const auto first = b.submit(req(9, 3)).get();
+  const auto second = b.submit(req(9, 3)).get();
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(first->entries, second->entries);
+  EXPECT_EQ(b.stats().cacheHits, 0u);
+}
+
+TEST(Batcher, ReloadSwapsTheEngineAndInvalidatesTheCache) {
+  BatcherOptions opts;
+  opts.maxBatch = 1;
+  Batcher b(makeEngine(6), opts);
+  const auto before = b.submit(req(4, 4)).get();
+
+  const auto fresh = makeEngine(777);  // different factors
+  b.reload(fresh);
+  EXPECT_EQ(b.engine(), fresh);
+
+  const auto after = b.submit(req(4, 4)).get();
+  EXPECT_NE(before, after);  // cache generation flushed
+  // Different model, different scores.
+  EXPECT_NE(before->entries, after->entries);
+  const ServeStats s = b.stats();
+  EXPECT_EQ(s.reloads, 1u);
+  EXPECT_EQ(s.cacheHits, 0u);
+  EXPECT_EQ(s.cacheMisses, 2u);
+}
+
+TEST(Batcher, InvalidRequestsFailTheirFutureOnly) {
+  BatcherOptions opts;
+  opts.maxBatch = 2;
+  opts.maxDelayMicros = 10'000'000;
+  Batcher b(makeEngine(7), opts);
+  auto bad = b.submit(req(1000, 0));  // fixed index out of range
+  auto good = b.submit(req(1, 1));
+  EXPECT_THROW(bad.get(), Error);
+  ASSERT_NE(good.get(), nullptr);
+  EXPECT_EQ(b.stats().completed, 2u);
+}
+
+TEST(Batcher, ReportRendersTheStatsSchema) {
+  BatcherOptions opts;
+  opts.maxBatch = 2;
+  opts.maxDelayMicros = 100;
+  Batcher b(makeEngine(8), opts);
+  b.submit(req(1, 2)).get();
+  b.submit(req(1, 2)).get();
+  const std::string json = serveReportJson(b.stats());
+  EXPECT_NE(json.find("cstf-serve-report-v1"), std::string::npos);
+  EXPECT_NE(json.find("\"qps\""), std::string::npos);
+  EXPECT_NE(json.find("\"hitRate\""), std::string::npos);
+  EXPECT_NE(json.find("\"latencyMicros\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(Batcher, PendingRequestsDrainOnShutdown) {
+  std::vector<std::future<Batcher::ResultPtr>> futs;
+  {
+    BatcherOptions opts;
+    opts.maxBatch = 1000;            // never fills
+    opts.maxDelayMicros = 5'000'000;  // deadline far away
+    Batcher b(makeEngine(9), opts);
+    for (Index i = 0; i < 8; ++i) futs.push_back(b.submit(req(i, i)));
+    // Destructor must flush the queue rather than abandon the promises.
+  }
+  for (auto& f : futs) ASSERT_NE(f.get(), nullptr);
+}
+
+TEST(Batcher, ConcurrentClientsAndReloadsStayCoherent) {
+  BatcherOptions opts;
+  opts.maxBatch = 8;
+  opts.maxDelayMicros = 100;
+  Batcher b(makeEngine(10), opts);
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&b, t] {
+      Pcg32 rng(1000 + t);
+      for (int i = 0; i < 200; ++i) {
+        const auto r = b.submit(req(rng.nextBounded(20),
+                                    rng.nextBounded(20)))
+                           .get();
+        ASSERT_NE(r, nullptr);
+        ASSERT_LE(r->entries.size(), 5u);
+      }
+    });
+  }
+  std::thread reloader([&b] {
+    for (int i = 0; i < 5; ++i) {
+      b.reload(makeEngine(2000 + i));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  for (auto& c : clients) c.join();
+  reloader.join();
+
+  const ServeStats s = b.stats();
+  EXPECT_EQ(s.submitted, 4u * 200u);
+  EXPECT_EQ(s.completed, 4u * 200u);
+  EXPECT_EQ(s.reloads, 5u);
+  EXPECT_EQ(s.latencyMicros.count(), 4u * 200u);
+}
+
+}  // namespace
+}  // namespace cstf::serve

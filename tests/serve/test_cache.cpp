@@ -1,0 +1,106 @@
+// Sharded LRU cache: recency-ordered eviction, shard math, counters, and
+// values outliving eviction.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hpp"
+
+namespace cstf::serve {
+namespace {
+
+using IntCache = ShardedLruCache<int, int>;
+
+std::shared_ptr<const int> val(int v) {
+  return std::make_shared<const int>(v);
+}
+
+TEST(Cache, MissThenHit) {
+  IntCache c(8, 1);
+  EXPECT_EQ(c.get(1), nullptr);
+  c.put(1, val(10));
+  const auto got = c.get(1);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 10);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, EvictsLeastRecentlyUsed) {
+  IntCache c(2, 1);  // one shard, two entries
+  c.put(1, val(10));
+  c.put(2, val(20));
+  ASSERT_NE(c.get(1), nullptr);  // refresh 1; 2 is now the LRU entry
+  c.put(3, val(30));
+  EXPECT_NE(c.get(1), nullptr);
+  EXPECT_EQ(c.get(2), nullptr);
+  EXPECT_NE(c.get(3), nullptr);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Cache, PutRefreshesExistingKeys) {
+  IntCache c(2, 1);
+  c.put(1, val(10));
+  c.put(2, val(20));
+  c.put(1, val(11));  // refresh, not insert: nothing evicted
+  ASSERT_NE(c.get(2), nullptr);
+  const auto got = c.get(1);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 11);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Cache, ValuesSurviveEviction) {
+  IntCache c(1, 1);
+  c.put(1, val(10));
+  const auto held = c.get(1);
+  c.put(2, val(20));  // evicts key 1
+  EXPECT_EQ(c.get(1), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(*held, 10);
+}
+
+TEST(Cache, CapacitySplitsAcrossShardsWithAFloorOfOne) {
+  EXPECT_EQ(IntCache(16, 4).capacity(), 16u);
+  EXPECT_EQ(IntCache(16, 4).shardCount(), 4u);
+  // Tiny capacity with many shards: every shard still holds one entry.
+  EXPECT_EQ(IntCache(2, 8).capacity(), 8u);
+  // Zero shards is coerced to one.
+  EXPECT_EQ(IntCache(4, 0).shardCount(), 1u);
+}
+
+TEST(Cache, ClearEmptiesEveryShard) {
+  IntCache c(64, 8);
+  for (int i = 0; i < 32; ++i) c.put(i, val(i));
+  EXPECT_GT(c.size(), 0u);
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.get(5), nullptr);
+}
+
+TEST(Cache, ConcurrentReadersAndWritersStaySane) {
+  ShardedLruCache<int, std::string> c(256, 8);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&c, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const int key = (t * 31 + i) % 100;
+        if (const auto got = c.get(key)) {
+          EXPECT_EQ(*got, std::to_string(key));
+        } else {
+          c.put(key, std::make_shared<const std::string>(
+                         std::to_string(key)));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_LE(c.size(), c.capacity());
+  EXPECT_EQ(c.hits() + c.misses(), 4u * 2000u);
+}
+
+}  // namespace
+}  // namespace cstf::serve

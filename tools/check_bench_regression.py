@@ -3,7 +3,8 @@
 
 Usage:
   check_bench_regression.py --baseline bench/baselines/bench_micro_engine.json \
-      --current BENCH_micro_engine.json [--threshold 25] [--normalize]
+      --current BENCH_micro_engine.json [--threshold 25] [--normalize] \
+      [--counters p99_us:lower,qps:higher]
 
 Benchmarks are matched by name (intersection of the two files); real_time is
 compared in nanoseconds. A benchmark regresses when
@@ -16,6 +17,12 @@ machine that produced the baseline and the machine running the check (CI
 runners are not the container the baseline was recorded on), while still
 flagging a benchmark that slowed down *relative to the rest of the suite*.
 
+--counters additionally compares named user counters (google-benchmark
+serializes them as top-level keys of each benchmark entry). Each takes a
+direction: 'lower' means lower is better (latencies — a rise regresses),
+'higher' means higher is better (throughput — a drop regresses). Counter
+ratios share the real_time threshold and normalization.
+
 Exit status: 0 when no benchmark regresses, 1 otherwise (or on bad input).
 """
 
@@ -24,8 +31,9 @@ import json
 import sys
 
 
-def load_benchmarks(path):
-    """Map benchmark name -> real_time in ns from a google-benchmark JSON."""
+def load_benchmarks(path, counter_names=()):
+    """Map benchmark name -> {'real_time': ns, 'counters': {name: value}}
+    from a google-benchmark JSON."""
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     out = {}
@@ -43,7 +51,26 @@ def load_benchmarks(path):
             print(f"warning: unknown time_unit '{unit}' for {name}, skipped",
                   file=sys.stderr)
             continue
-        out[name] = float(t) * scale
+        counters = {c: float(b[c]) for c in counter_names
+                    if isinstance(b.get(c), (int, float))}
+        out[name] = {"real_time": float(t) * scale, "counters": counters}
+    return out
+
+
+def parse_counters(spec):
+    """Parse 'p99_us:lower,qps:higher' into {name: direction}."""
+    out = {}
+    if not spec:
+        return out
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, sep, direction = item.partition(":")
+        if not sep or direction not in ("lower", "higher"):
+            raise ValueError(
+                f"bad counter spec '{item}' (want name:lower|higher)")
+        out[name] = direction
     return out
 
 
@@ -74,12 +101,16 @@ def main():
     ap.add_argument("--normalize", action="store_true",
                     help="divide ratios by the median ratio to cancel "
                          "cross-machine speed differences")
+    ap.add_argument("--counters", default="",
+                    help="comma-separated user counters to check, each as "
+                         "name:lower|higher (e.g. p99_us:lower,qps:higher)")
     args = ap.parse_args()
 
     try:
-        base = load_benchmarks(args.baseline)
-        cur = load_benchmarks(args.current)
-    except (OSError, json.JSONDecodeError) as e:
+        directions = parse_counters(args.counters)
+        base = load_benchmarks(args.baseline, directions)
+        cur = load_benchmarks(args.current, directions)
+    except (OSError, json.JSONDecodeError, ValueError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 1
 
@@ -95,7 +126,7 @@ def main():
     for n in only_cur:
         print(f"note: '{n}' in current only (not checked)")
 
-    ratios = {n: cur[n] / base[n] for n in shared}
+    ratios = {n: cur[n]["real_time"] / base[n]["real_time"] for n in shared}
     med = median(list(ratios.values())) if args.normalize else 1.0
     if args.normalize:
         print(f"normalizing by median ratio: {med:.3f} "
@@ -104,23 +135,41 @@ def main():
             print("error: non-positive median ratio", file=sys.stderr)
             return 1
 
+    # Rows to check: real_time for every shared benchmark, then any
+    # requested counter present on both sides. A worse-direction change
+    # always maps to ratio > 1 (throughput ratios are inverted), so one
+    # threshold covers both.
+    rows = []
+    for n in shared:
+        rows.append((n, fmt_ns(base[n]["real_time"]),
+                     fmt_ns(cur[n]["real_time"]), ratios[n]))
+        for c, direction in sorted(directions.items()):
+            if c not in base[n]["counters"] or c not in cur[n]["counters"]:
+                continue
+            bv = base[n]["counters"][c]
+            cv = cur[n]["counters"][c]
+            if bv <= 0 or cv <= 0:
+                print(f"note: non-positive {c} on '{n}' (not checked)")
+                continue
+            r = cv / bv if direction == "lower" else bv / cv
+            rows.append((f"{n} [{c}]", f"{bv:.4g}", f"{cv:.4g}", r))
+
     limit = 1.0 + args.threshold / 100.0
     regressions = []
-    name_w = max(len(n) for n in shared)
+    name_w = max(len(r[0]) for r in rows)
     header = (f"{'benchmark':<{name_w}}  {'baseline':>12}  {'current':>12}  "
               f"{'ratio':>7}  verdict")
     print(header)
     print("-" * len(header))
-    for n in shared:
-        r = ratios[n] / med
+    for n, bs, cs, raw in rows:
+        r = raw / med
         verdict = "ok"
         if r > limit:
             verdict = "REGRESSED"
             regressions.append((n, r))
         elif r < 1.0 / limit:
             verdict = "improved"
-        print(f"{n:<{name_w}}  {fmt_ns(base[n]):>12}  {fmt_ns(cur[n]):>12}  "
-              f"{r:>6.2f}x  {verdict}")
+        print(f"{n:<{name_w}}  {bs:>12}  {cs:>12}  {r:>6.2f}x  {verdict}")
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
@@ -129,7 +178,7 @@ def main():
             print(f"  {n}: {r:.2f}x")
         return 1
     print(f"\nOK: no benchmark regressed more than {args.threshold:.0f}% "
-          f"across {len(shared)} shared benchmarks")
+          f"across {len(rows)} checked rows ({len(shared)} benchmarks)")
     return 0
 
 

@@ -3,6 +3,8 @@
 //   cstf info <tensor>                     structural statistics
 //   cstf generate <analog> <out.{tns,bns}> write a synthetic dataset
 //   cstf factor <tensor> [options]         run CP-ALS
+//   cstf query --model M --indices SPEC    point / top-k queries
+//   cstf serve-bench --model M [options]   closed-loop serving benchmark
 //
 // <tensor> is a FROSTT .tns path, a binary .bns path, or the name of a
 // built-in paper analog
@@ -29,19 +31,47 @@
 //   --task-failure-rate R per-task-attempt failure probability (chaos)
 //   --fault-seed S       seed for the deterministic fault plan
 //   --max-stage-attempts N stage attempts before the job aborts (default 4)
+//   --model-out P   export the trained factors as a CSTFMDL1 model file
 //
 // A job that exhausts its stage attempts exits with status 3; rerun with
 // --resume <checkpoint-dir> to continue from the last persisted state.
+//
+// query options (model may be a CSTFMDL1 file, a checkpoint file, or a
+// checkpoint directory):
+//   --model P       model to serve (required)
+//   --indices SPEC  comma-separated index per mode; mark at most one mode
+//                   free with "_" (also "?", "*", or "-1") for top-k
+//   --top-k K       completions to return along the free mode (default 10)
+//   --brute-force   disable norm-bound pruning (same results, full scan)
+//
+// serve-bench options (closed-loop load generator over the micro-batcher):
+//   --model P, --top-k K, --brute-force as for query
+//   --mode M        free mode queried (default 0)
+//   --clients N     concurrent closed-loop clients (default 4)
+//   --requests N    total requests across all clients (default 2000)
+//   --distinct D    distinct request tuples in the workload (default 256)
+//   --zipf S        Zipf exponent for request popularity (default 1.1)
+//   --max-batch B   batcher flush size (default: number of clients)
+//   --max-delay-micros U  batcher deadline (default 200)
+//   --cache-capacity C    result-cache entries, 0 disables (default 4096)
+//   --report-out P  also write the serve report JSON to P
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "cstf/cstf.hpp"
+#include "serve/batcher.hpp"
+#include "serve/engine.hpp"
+#include "serve/model.hpp"
 #include "tensor/generator.hpp"
 #include "tensor/io.hpp"
 #include "tensor/stats.hpp"
@@ -63,7 +93,14 @@ int usage() {
                "                   [--checkpoint-dir D] [--checkpoint-every K]\n"
                "                   [--resume D] [--node-loss-rate R]\n"
                "                   [--task-failure-rate R] [--fault-seed S]\n"
-               "                   [--max-stage-attempts N]\n");
+               "                   [--max-stage-attempts N] [--model-out P]\n"
+               "       cstf query --model P --indices i1,_,i3 [--top-k K]\n"
+               "                   [--brute-force]\n"
+               "       cstf serve-bench --model P [--mode M] [--top-k K]\n"
+               "                   [--clients N] [--requests N] [--distinct D]\n"
+               "                   [--zipf S] [--max-batch B]\n"
+               "                   [--max-delay-micros U] [--cache-capacity C]\n"
+               "                   [--seed S] [--report-out P] [--brute-force]\n");
   return 2;
 }
 
@@ -100,6 +137,20 @@ struct Args {
   double taskFailureRate = 0.0;
   std::uint64_t faultSeed = 0xfa17ed;
   int maxStageAttempts = 4;
+  std::string modelOut;
+  // query / serve-bench
+  std::string model;
+  std::string indicesSpec;
+  std::size_t topK = 10;
+  bool bruteForce = false;
+  int mode = 0;
+  std::size_t clients = 4;
+  std::size_t requests = 2000;
+  std::size_t distinct = 256;
+  double zipf = 1.1;
+  std::size_t maxBatch = 0;  // 0: default to `clients`
+  std::uint64_t maxDelayMicros = 200;
+  std::size_t cacheCapacity = 4096;
 };
 
 bool parseArgs(int argc, char** argv, Args& a) {
@@ -189,6 +240,56 @@ bool parseArgs(int argc, char** argv, Args& a) {
       const char* v = next("--max-stage-attempts");
       if (!v) return false;
       a.maxStageAttempts = std::atoi(v);
+    } else if (arg == "--model-out") {
+      const char* v = next("--model-out");
+      if (!v) return false;
+      a.modelOut = v;
+    } else if (arg == "--model") {
+      const char* v = next("--model");
+      if (!v) return false;
+      a.model = v;
+    } else if (arg == "--indices") {
+      const char* v = next("--indices");
+      if (!v) return false;
+      a.indicesSpec = v;
+    } else if (arg == "--top-k") {
+      const char* v = next("--top-k");
+      if (!v) return false;
+      a.topK = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--brute-force") {
+      a.bruteForce = true;
+    } else if (arg == "--mode") {
+      const char* v = next("--mode");
+      if (!v) return false;
+      a.mode = std::atoi(v);
+    } else if (arg == "--clients") {
+      const char* v = next("--clients");
+      if (!v) return false;
+      a.clients = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--requests") {
+      const char* v = next("--requests");
+      if (!v) return false;
+      a.requests = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--distinct") {
+      const char* v = next("--distinct");
+      if (!v) return false;
+      a.distinct = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--zipf") {
+      const char* v = next("--zipf");
+      if (!v) return false;
+      a.zipf = std::atof(v);
+    } else if (arg == "--max-batch") {
+      const char* v = next("--max-batch");
+      if (!v) return false;
+      a.maxBatch = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--max-delay-micros") {
+      const char* v = next("--max-delay-micros");
+      if (!v) return false;
+      a.maxDelayMicros = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--cache-capacity") {
+      const char* v = next("--cache-capacity");
+      if (!v) return false;
+      a.cacheCapacity = std::strtoul(v, nullptr, 10);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -320,6 +421,151 @@ int cmdFactor(const Args& a, const std::string& spec) {
     for (double l : result.lambda) lam << strprintf("%.17g\n", l);
     std::printf("factors written to %s.mode*.txt\n", a.output.c_str());
   }
+
+  if (!a.modelOut.empty()) {
+    serve::CpModel model;
+    model.rank = a.rank;
+    model.dims = t.dims();
+    model.lambda = result.lambda;
+    model.factors = result.factors;
+    model.finalFit = result.finalFit;
+    std::printf("model written to %s\n",
+                serve::saveModel(a.modelOut, model).c_str());
+  }
+  return 0;
+}
+
+bool isFreeMarker(const std::string& tok) {
+  return tok == "_" || tok == "?" || tok == "*" || tok == "-1";
+}
+
+/// Parse "12,_,7" into per-mode indices; the free mode (at most one) is
+/// returned through `freeMode`, -1 when every mode is pinned.
+std::vector<Index> parseIndices(const std::string& spec, ModeId order,
+                                int& freeMode) {
+  std::vector<std::string> toks;
+  std::string cur;
+  for (const char c : spec) {
+    if (c == ',') {
+      toks.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  toks.push_back(cur);
+  CSTF_CHECK(toks.size() == order,
+             strprintf("--indices has %zu entries but the model has %d modes",
+                       toks.size(), int(order)));
+  freeMode = -1;
+  std::vector<Index> idx(order, 0);
+  for (std::size_t m = 0; m < toks.size(); ++m) {
+    if (isFreeMarker(toks[m])) {
+      CSTF_CHECK(freeMode < 0, "--indices may mark at most one mode free");
+      freeMode = int(m);
+    } else {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(toks[m].c_str(), &end, 10);
+      CSTF_CHECK(end && *end == '\0' && !toks[m].empty(),
+                 "bad index '" + toks[m] + "' in --indices");
+      idx[m] = static_cast<Index>(v);
+    }
+  }
+  return idx;
+}
+
+int cmdQuery(const Args& a) {
+  if (a.model.empty() || a.indicesSpec.empty()) {
+    std::fprintf(stderr, "query needs --model and --indices\n");
+    return 2;
+  }
+  const serve::Engine engine(serve::loadModelAuto(a.model));
+  int freeMode = -1;
+  const std::vector<Index> idx =
+      parseIndices(a.indicesSpec, engine.order(), freeMode);
+  if (freeMode < 0) {
+    std::printf("%.17g\n", engine.predict(idx));
+    return 0;
+  }
+  serve::TopKOptions opts;
+  opts.prune = !a.bruteForce;
+  const serve::TopKResult r =
+      engine.topK(static_cast<ModeId>(freeMode), idx, a.topK, opts);
+  for (const auto& e : r.entries) {
+    std::printf("%u %.17g\n", unsigned(e.index), e.score);
+  }
+  std::fprintf(stderr, "top-%zu along mode %d: scanned %llu rows, pruned %llu\n",
+               a.topK, freeMode,
+               static_cast<unsigned long long>(r.stats.rowsScanned),
+               static_cast<unsigned long long>(r.stats.rowsPruned));
+  return 0;
+}
+
+int cmdServeBench(const Args& a) {
+  if (a.model.empty()) {
+    std::fprintf(stderr, "serve-bench needs --model\n");
+    return 2;
+  }
+  auto engine =
+      std::make_shared<const serve::Engine>(serve::loadModelAuto(a.model));
+  CSTF_CHECK(a.mode >= 0 && a.mode < engine->order(),
+             "--mode out of range for this model");
+  const ModeId mode = static_cast<ModeId>(a.mode);
+  CSTF_CHECK(a.clients >= 1 && a.requests >= 1 && a.distinct >= 1,
+             "serve-bench needs at least one client, request, and tuple");
+
+  // A fixed universe of request tuples with Zipf popularity: repeats are
+  // what exercise coalescing and the result cache, mirroring the skewed
+  // access patterns the training data itself has.
+  Pcg32 rng(a.seed);
+  std::vector<serve::TopKRequest> universe(a.distinct);
+  for (auto& req : universe) {
+    req.mode = mode;
+    req.k = a.topK;
+    req.fixed.assign(engine->order(), 0);
+    for (ModeId m = 0; m < engine->order(); ++m) {
+      if (m != mode) req.fixed[m] = rng.nextBounded(engine->dims()[m]);
+    }
+  }
+  const ZipfSampler zipf(static_cast<std::uint32_t>(a.distinct), a.zipf);
+
+  serve::BatcherOptions opts;
+  opts.maxBatch = a.maxBatch ? a.maxBatch : a.clients;
+  opts.maxDelayMicros = a.maxDelayMicros;
+  opts.cacheCapacity = a.cacheCapacity;
+  serve::Batcher batcher(engine, opts);
+
+  std::printf("serve-bench: %zu clients, %zu requests over %zu tuples "
+              "(zipf %.2f), top-%zu along mode %d, maxBatch %zu, "
+              "delay %llu us, cache %zu\n",
+              a.clients, a.requests, a.distinct, a.zipf, a.topK, a.mode,
+              opts.maxBatch,
+              static_cast<unsigned long long>(opts.maxDelayMicros),
+              opts.cacheCapacity);
+
+  std::vector<std::thread> workers;
+  workers.reserve(a.clients);
+  for (std::size_t c = 0; c < a.clients; ++c) {
+    const std::size_t n =
+        a.requests / a.clients + (c < a.requests % a.clients ? 1 : 0);
+    workers.emplace_back([&, c, n] {
+      Pcg32 crng(a.seed ^ mix64(c + 1));
+      for (std::size_t i = 0; i < n; ++i) {
+        batcher.submit(universe[zipf.sample(crng)]).get();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const serve::ServeStats stats = batcher.stats();
+  const std::string report = serve::serveReportJson(stats);
+  std::printf("%s\n", report.c_str());
+  if (!a.reportOut.empty()) {
+    if (!writeTextFile(a.reportOut, report)) {
+      throw Error("cannot write " + a.reportOut);
+    }
+    std::fprintf(stderr, "serve report written to %s\n", a.reportOut.c_str());
+  }
   return 0;
 }
 
@@ -339,6 +585,12 @@ int main(int argc, char** argv) {
     }
     if (cmd == "factor" && a.positional.size() == 1) {
       return cmdFactor(a, a.positional[0]);
+    }
+    if (cmd == "query" && a.positional.empty()) {
+      return cmdQuery(a);
+    }
+    if (cmd == "serve-bench" && a.positional.empty()) {
+      return cmdServeBench(a);
     }
   } catch (const JobAbortedError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
