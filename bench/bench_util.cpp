@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/artifacts.hpp"
+#include "common/metrics_registry.hpp"
 #include "common/strings.hpp"
 #include "common/trace.hpp"
 
@@ -16,6 +18,8 @@ namespace {
 std::string g_traceOut;
 std::string g_reportOut;
 std::string g_metricsCsv;
+std::string g_metricsOut;
+int g_metricsIntervalMs = 100;
 int g_runCounter = 0;
 
 std::string envOr(const char* name, const std::string& current) {
@@ -36,16 +40,6 @@ std::string taggedPath(const std::string& base, int run) {
   return base.substr(0, dot) + tag + base.substr(dot);
 }
 
-void writeArtifact(const std::string& path, const std::string& content,
-                   const char* what) {
-  if (writeTextFile(path, content)) {
-    std::fprintf(stderr, "[bench] %s written to %s\n", what, path.c_str());
-  } else {
-    std::fprintf(stderr, "[bench] cannot write %s to %s\n", what,
-                 path.c_str());
-  }
-}
-
 }  // namespace
 
 void initBenchArgs(int argc, char** argv) {
@@ -59,20 +53,28 @@ void initBenchArgs(int argc, char** argv) {
       dst = argv[++i];
       return true;
     };
+    std::string interval;
     if (take("--trace-out", g_traceOut) ||
         take("--report-out", g_reportOut) ||
-        take("--metrics-csv", g_metricsCsv)) {
+        take("--metrics-csv", g_metricsCsv) ||
+        take("--metrics-out", g_metricsOut)) {
+      continue;
+    }
+    if (take("--metrics-interval-ms", interval)) {
+      g_metricsIntervalMs = std::atoi(interval.c_str());
       continue;
     }
     std::fprintf(stderr,
                  "unknown argument: %s\nusage: %s [--trace-out P] "
-                 "[--report-out P] [--metrics-csv P]\n",
+                 "[--report-out P] [--metrics-csv P] [--metrics-out P] "
+                 "[--metrics-interval-ms N]\n",
                  argv[i], argv[0]);
     std::exit(2);
   }
   g_traceOut = envOr("CSTF_TRACE_OUT", g_traceOut);
   g_reportOut = envOr("CSTF_REPORT_OUT", g_reportOut);
   g_metricsCsv = envOr("CSTF_METRICS_CSV", g_metricsCsv);
+  g_metricsOut = envOr("CSTF_METRICS_OUT", g_metricsOut);
 }
 
 RunArtifacts::RunArtifacts(sparkle::Context& ctx) : ctx_(&ctx) {
@@ -81,6 +83,7 @@ RunArtifacts::RunArtifacts(sparkle::Context& ctx) : ctx_(&ctx) {
   traceOut_ = envOr("CSTF_TRACE_OUT", g_traceOut);
   reportOut_ = envOr("CSTF_REPORT_OUT", g_reportOut);
   metricsCsv_ = envOr("CSTF_METRICS_CSV", g_metricsCsv);
+  metricsOut_ = envOr("CSTF_METRICS_OUT", g_metricsOut);
   run_ = ++g_runCounter;
   if (!traceOut_.empty()) {
     // Private recorder: keeps each configuration's trace self-contained
@@ -88,9 +91,21 @@ RunArtifacts::RunArtifacts(sparkle::Context& ctx) : ctx_(&ctx) {
     trace_.setEnabled(true);
     ctx.setTrace(&trace_);
   }
+  if (!metricsOut_.empty()) {
+    HeartbeatOptions o;
+    o.ndjsonPath = taggedPath(metricsOut_, run_);
+    o.promPath = o.ndjsonPath + ".prom";
+    o.intervalMs = g_metricsIntervalMs;
+    heartbeat_ = std::make_unique<Heartbeat>(metrics::globalRegistry(), o);
+    heartbeat_->addCheck([&ctx] { ctx.straggler().checkNow(); });
+    heartbeat_->start();
+  }
 }
 
+RunArtifacts::~RunArtifacts() = default;
+
 void RunArtifacts::write(const cstf_core::RunReport* report) {
+  if (heartbeat_) heartbeat_->stop();  // final snapshot for this run
   if (!traceOut_.empty()) {
     writeArtifact(taggedPath(traceOut_, run_), trace_.toChromeJson(),
                   "trace");

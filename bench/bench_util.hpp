@@ -8,15 +8,20 @@
 //                      (default 3; the paper averages 20)
 //
 // Observability artifacts: every bench accepts
-//   --trace-out P / --report-out P / --metrics-csv P
-// (env fallback CSTF_TRACE_OUT / CSTF_REPORT_OUT / CSTF_METRICS_CSV).
-// A bench runs CP-ALS many times, so each run writes to the requested
-// path with a "-runN" tag inserted before the extension.
+//   --trace-out P / --report-out P / --metrics-csv P / --metrics-out P
+//   [--metrics-interval-ms N]
+// (env fallback CSTF_TRACE_OUT / CSTF_REPORT_OUT / CSTF_METRICS_CSV /
+// CSTF_METRICS_OUT). A bench runs CP-ALS many times, so each run writes to
+// the requested path with a "-runN" tag inserted before the extension;
+// --metrics-out additionally writes a Prometheus exposition next to each
+// ndjson stream (<path>.prom).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/heartbeat.hpp"
 #include "common/trace.hpp"
 #include "cstf/cstf.hpp"
 #include "sparkle/sparkle.hpp"
@@ -43,18 +48,24 @@ void initBenchArgs(int argc, char** argv);
 class RunArtifacts {
  public:
   explicit RunArtifacts(sparkle::Context& ctx);
+  ~RunArtifacts();
 
   /// Write the requested artifacts, tagging filenames with this run's
   /// index. Pass null when no report is available (skips --report-out).
+  /// Also stops this run's metrics heartbeat (--metrics-out), flushing a
+  /// final snapshot.
   void write(const cstf_core::RunReport* report);
 
  private:
   sparkle::Context* ctx_;
   TraceRecorder trace_;
+  /// Live-metrics heartbeat for this run (--metrics-out, "-runN"-tagged).
+  std::unique_ptr<Heartbeat> heartbeat_;
   int run_ = 0;
   std::string traceOut_;
   std::string reportOut_;
   std::string metricsCsv_;
+  std::string metricsOut_;
 };
 
 /// The paper's evaluation cluster (Comet: 24 cores/node), in Spark or

@@ -1,0 +1,31 @@
+#include "common/artifacts.hpp"
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace cstf {
+
+bool writeFileAtomic(const std::string& path, const std::string& content) {
+  // Same-directory temp file so the rename is a same-filesystem atomic
+  // replace; a fixed suffix is fine — each artifact has one writer.
+  const std::string tmp = path + ".tmp";
+  if (!writeTextFile(tmp, content)) return false;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool writeArtifact(const std::string& path, const std::string& content,
+                   const char* what) {
+  if (writeFileAtomic(path, content)) {
+    std::fprintf(stderr, "%s written to %s\n", what, path.c_str());
+    return true;
+  }
+  std::fprintf(stderr, "cannot write %s to %s\n", what, path.c_str());
+  return false;
+}
+
+}  // namespace cstf

@@ -1,0 +1,24 @@
+// Shared artifact writing: atomic file replacement + consistent logging.
+//
+// Every observability output (traces, run reports, metrics CSVs, live
+// metrics expositions) funnels through here so external scrapers never see
+// a half-written file and every "written to" message looks the same,
+// whether it came from the CLI, a bench binary, or the heartbeat sampler.
+#pragma once
+
+#include <string>
+
+namespace cstf {
+
+/// Atomically replace `path` with `content`: write to a sibling temp file
+/// and rename over the destination. Returns false on any failure (callers
+/// report); a failed write never leaves a partial file at `path`.
+bool writeFileAtomic(const std::string& path, const std::string& content);
+
+/// writeFileAtomic + one consistent log line to stderr:
+///   "<what> written to <path>"  or  "cannot write <what> to <path>".
+/// Returns success.
+bool writeArtifact(const std::string& path, const std::string& content,
+                   const char* what);
+
+}  // namespace cstf

@@ -17,6 +17,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace cstf {
 
@@ -91,7 +92,24 @@ class Histogram {
 
   void reset() { *this = Histogram(); }
 
- private:
+  /// Rebuild a histogram from externally tracked parts — the bucket array
+  /// must use this class's layout (see bucketOf). Lets lock-free variants
+  /// (metrics_registry's AtomicHistogram) snapshot into a plain Histogram
+  /// for quantile queries and merging.
+  static Histogram fromParts(std::uint64_t count, double min, double max,
+                             double sum,
+                             const std::array<std::uint64_t, kBuckets>& b) {
+    Histogram h;
+    h.count_ = count;
+    h.min_ = count ? min : 0.0;
+    h.max_ = count ? max : 0.0;
+    h.sum_ = sum;
+    h.buckets_ = b;
+    return h;
+  }
+
+  /// Bucket index for value v under this class's log-linear layout.
+  /// Public so lock-free recorders can share the layout.
   static std::size_t bucketOf(double v) {
     if (!(v > 0.0)) return 0;  // <= 0 and NaN collapse into bucket 0
     int exp = 0;
@@ -103,6 +121,7 @@ class Histogram {
     return static_cast<std::size_t>(exp - kMinExp - 1) * kSub + sub + 1;
   }
 
+ private:
   /// Midpoint of bucket b's value range.
   static double representative(std::size_t b) {
     if (b == 0) return 0.0;  // clamped to min_ by quantile()
@@ -116,6 +135,55 @@ class Histogram {
   double max_ = 0.0;
   double sum_ = 0.0;
   std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Sliding-window histogram: a ring of epoch histograms. record() lands in
+/// the current epoch; rotate() advances the ring, discarding the oldest
+/// epoch; merged() answers quantiles over the whole window. The SLO
+/// watchdog rotates once per check interval, so the window covers the last
+/// `epochs` intervals of traffic rather than the process lifetime — a p99
+/// that recovers when the overload stops.
+///
+/// Not thread-safe, like Histogram: callers serialize access.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(std::size_t epochs = 8)
+      : ring_(std::max<std::size_t>(1, epochs)) {}
+
+  std::size_t epochs() const { return ring_.size(); }
+
+  void record(double v) { ring_[cur_].record(v); }
+
+  /// Advance to the next epoch, dropping the one it replaces (which may be
+  /// empty — rotating an idle window is a no-op in content terms).
+  void rotate() {
+    cur_ = (cur_ + 1) % ring_.size();
+    ring_[cur_].reset();
+  }
+
+  /// Merge of every live epoch (empty epochs contribute nothing). An
+  /// all-empty window yields an empty histogram: count() == 0, quantiles 0.
+  Histogram merged() const {
+    Histogram out;
+    for (const Histogram& h : ring_) out.merge(h);
+    return out;
+  }
+
+  /// Records currently in the window.
+  std::uint64_t count() const {
+    std::uint64_t n = 0;
+    for (const Histogram& h : ring_) n += h.count();
+    return n;
+  }
+
+  void reset() {
+    for (Histogram& h : ring_) h.reset();
+    cur_ = 0;
+  }
+
+ private:
+  std::vector<Histogram> ring_;
+  std::size_t cur_ = 0;
 };
 
 }  // namespace cstf

@@ -1,0 +1,262 @@
+#include "common/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/strings.hpp"
+
+namespace cstf::metrics {
+
+namespace {
+
+bool validMetricName(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(s[0])) return false;
+  for (const char c : s) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Identity key: name + labels, with separators no valid name contains.
+std::string seriesKey(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x01';
+    key += k;
+    key += '\x02';
+    key += v;
+  }
+  return key;
+}
+
+void labelsJson(JsonWriter& w, const Labels& labels) {
+  w.key("labels");
+  w.beginObject();
+  for (const auto& [k, v] : labels) w.kv(k, v);
+  w.endObject();
+}
+
+/// `{k="v",...}` suffix for a Prometheus sample line; `extra` appends one
+/// more pair (the summary quantile label). Empty when there is nothing.
+std::string promLabels(const Labels& labels,
+                       const std::pair<std::string, std::string>* extra) {
+  if (labels.empty() && extra == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  auto emit = [&](const std::string& k, const std::string& v) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    // Prometheus label-value escaping: backslash, quote, newline.
+    for (const char c : v) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+  };
+  for (const auto& [k, v] : labels) emit(k, v);
+  if (extra != nullptr) emit(extra->first, extra->second);
+  out += '}';
+  return out;
+}
+
+/// Prometheus sample values: plain decimal, no JSON null fallback.
+std::string promNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return strprintf("%.17g", v);
+}
+
+void histogramSummaryJson(JsonWriter& w, const Histogram& h) {
+  w.kv("count", h.count());
+  w.kv("sum", h.sum());
+  w.kv("min", h.min());
+  w.kv("max", h.max());
+  w.kv("mean", h.mean());
+  w.kv("p50", h.quantile(0.50));
+  w.kv("p95", h.quantile(0.95));
+  w.kv("p99", h.quantile(0.99));
+}
+
+}  // namespace
+
+std::string Snapshot::toJsonLine() const {
+  JsonWriter w;
+  w.beginObject();
+  w.kv("schema", "cstf-metrics-v1");
+  w.kv("seq", seq);
+  w.kv("uptimeMs", uptimeMs);
+  w.key("counters");
+  w.beginArray();
+  for (const CounterSample& c : counters) {
+    w.beginObject();
+    w.kv("name", c.name);
+    labelsJson(w, c.labels);
+    w.kv("value", c.value);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("gauges");
+  w.beginArray();
+  for (const GaugeSample& g : gauges) {
+    w.beginObject();
+    w.kv("name", g.name);
+    labelsJson(w, g.labels);
+    w.kv("value", g.value);  // non-finite degrades to null (jsonNumber)
+    w.endObject();
+  }
+  w.endArray();
+  w.key("histograms");
+  w.beginArray();
+  for (const HistogramSample& h : histograms) {
+    w.beginObject();
+    w.kv("name", h.name);
+    labelsJson(w, h.labels);
+    histogramSummaryJson(w, h.hist);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return w.take();
+}
+
+std::string Snapshot::toPrometheusText() const {
+  std::string out;
+  // TYPE lines must precede samples and appear once per metric name; the
+  // snapshot keeps series of one name adjacent (registration order groups
+  // them), so emit the TYPE line whenever the name changes.
+  const std::string* last = nullptr;
+  for (const CounterSample& c : counters) {
+    if (last == nullptr || *last != c.name) {
+      out += "# TYPE " + c.name + " counter\n";
+      last = &c.name;
+    }
+    out += c.name + promLabels(c.labels, nullptr) + ' ' +
+           std::to_string(c.value) + '\n';
+  }
+  last = nullptr;
+  for (const GaugeSample& g : gauges) {
+    if (last == nullptr || *last != g.name) {
+      out += "# TYPE " + g.name + " gauge\n";
+      last = &g.name;
+    }
+    out += g.name + promLabels(g.labels, nullptr) + ' ' +
+           promNumber(g.value) + '\n';
+  }
+  last = nullptr;
+  for (const HistogramSample& h : histograms) {
+    if (last == nullptr || *last != h.name) {
+      out += "# TYPE " + h.name + " summary\n";
+      last = &h.name;
+    }
+    for (const auto& [q, qv] :
+         {std::pair<const char*, double>{"0.5", h.hist.quantile(0.50)},
+          {"0.95", h.hist.quantile(0.95)},
+          {"0.99", h.hist.quantile(0.99)}}) {
+      const std::pair<std::string, std::string> extra{"quantile", q};
+      out += h.name + promLabels(h.labels, &extra) + ' ' + promNumber(qv) +
+             '\n';
+    }
+    out += h.name + "_sum" + promLabels(h.labels, nullptr) + ' ' +
+           promNumber(h.hist.sum()) + '\n';
+    out += h.name + "_count" + promLabels(h.labels, nullptr) + ' ' +
+           std::to_string(h.hist.count()) + '\n';
+  }
+  return out;
+}
+
+Registry::Registry() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Registry::uptimeMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+template <typename T>
+T& Registry::findOrCreate(std::deque<Entry<T>>& entries,
+                          std::unordered_map<std::string, T*>& index,
+                          const std::string& name, const Labels& labels,
+                          const char* kind) {
+  CSTF_CHECK(validMetricName(name), "bad metric name '" + name + "'");
+  for (const auto& [k, v] : labels) {
+    CSTF_CHECK(validMetricName(k),
+               "bad label name '" + k + "' on metric '" + name + "'");
+  }
+  const std::string key = seriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = index.find(key); it != index.end()) return *it->second;
+  auto [kit, fresh] = kindByName_.try_emplace(name, kind);
+  CSTF_CHECK(kit->second == kind,
+             strprintf("metric '%s' already registered as a %s",
+                       name.c_str(), kit->second));
+  entries.push_back(Entry<T>{name, labels, std::make_unique<T>()});
+  T* inst = entries.back().inst.get();
+  index.emplace(key, inst);
+  return *inst;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  return findOrCreate(counters_, counterIndex_, name, labels, "counter");
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  return findOrCreate(gauges_, gaugeIndex_, name, labels, "gauge");
+}
+
+AtomicHistogram& Registry::histogram(const std::string& name,
+                                     const Labels& labels) {
+  return findOrCreate(histograms_, histogramIndex_, name, labels,
+                      "histogram");
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+Snapshot Registry::snapshot() {
+  Snapshot s;
+  s.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  s.uptimeMs = uptimeMs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.counters.reserve(counters_.size());
+  for (const auto& e : counters_) {
+    s.counters.push_back({e.name, e.labels, e.inst->value()});
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& e : gauges_) {
+    s.gauges.push_back({e.name, e.labels, e.inst->value()});
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& e : histograms_) {
+    s.histograms.push_back({e.name, e.labels, e.inst->snapshot()});
+  }
+  // Group series by name (stable within a name) so the Prometheus renderer
+  // can emit one TYPE line per metric.
+  std::stable_sort(s.counters.begin(), s.counters.end(),
+                   [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::stable_sort(s.gauges.begin(), s.gauges.end(),
+                   [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::stable_sort(s.histograms.begin(), s.histograms.end(),
+                   [](const auto& a, const auto& b) { return a.name < b.name; });
+  return s;
+}
+
+Registry& globalRegistry() {
+  static Registry* r = new Registry();  // leaked: outlives all static dtors
+  return *r;
+}
+
+}  // namespace cstf::metrics

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "common/log.hpp"
+#include "common/metrics_registry.hpp"
 #include "common/strings.hpp"
 #include "cstf/checkpoint.hpp"
 #include "cstf/dim_tree.hpp"
@@ -135,6 +136,16 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
   // detection behaves as if the run had never been interrupted.
   double prevFit = restoredPrevFit;
 
+  // Live instrument panel: the heartbeat samples these mid-run, so a tail
+  // on the metrics stream shows iteration progress and fit as they happen.
+  metrics::Registry& live = metrics::globalRegistry();
+  metrics::Gauge& liveIteration = live.gauge("cstf_iteration");
+  metrics::Gauge& liveFit = live.gauge("cstf_fit");
+  metrics::Gauge& liveFitDelta = live.gauge("cstf_fit_delta");
+  metrics::Counter& liveIterations = live.counter("cstf_iterations_total");
+  metrics::AtomicHistogram& liveIterSim =
+      live.histogram("cstf_iteration_sim_sec");
+
   for (int iter = startIter; iter <= opts.maxIterations; ++iter) {
     const double simBefore = ctx.metrics().simTimeSec();
     const auto wallBefore = std::chrono::steady_clock::now();
@@ -173,6 +184,8 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
       // Reduce-task record skew of this mode's shuffles — the metric the
       // skew policies (hash/frequency/replicate) exist to improve.
       mt.reduceSkew = ctx.metrics().reduceSkewForStagesFrom(modeStageBase);
+      live.histogram("cstf_mode_sim_sec", {{"mode", std::to_string(mt.mode)}})
+          .record(mt.simTimeSec);
       iterTel.modes.push_back(mt);
       modeBase = after;
       modeStageBase = ctx.metrics().stageCount();
@@ -286,6 +299,12 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
     result.report.iterations.push_back(std::move(iterTel));
 
     result.iterations.push_back(stats);
+    liveIterations.add();
+    liveIteration.set(double(iter));
+    liveIterSim.record(stats.simTimeSec);
+    if (std::isfinite(stats.fit)) liveFit.set(stats.fit);
+    // Iteration 1's delta is NaN by design; the gauge keeps its last value.
+    if (std::isfinite(stats.fitDelta)) liveFitDelta.set(stats.fitDelta);
     if (opts.onIteration) opts.onIteration(stats);
 
     if (!opts.checkpointDir.empty() && opts.checkpointEvery > 0 &&

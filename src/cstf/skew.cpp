@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "common/metrics_registry.hpp"
 
 namespace cstf::cstf_core {
 
@@ -74,6 +77,16 @@ std::shared_ptr<const SkewPlan> buildSkewPlan(
       heavy.resize(opts.maxHeavyKeysPerMode);
     }
     for (const auto& [idx, est] : heavy) census.heavyRecords += est;
+
+    // Census stats on the live panel: how hot each mode's key space is.
+    metrics::Registry& live = metrics::globalRegistry();
+    const metrics::Labels labels = {{"mode", std::to_string(int(m) + 1)}};
+    live.gauge("cstf_skew_heavy_keys", labels)
+        .set(double(census.heavyKeys.size()));
+    live.gauge("cstf_skew_heavy_records", labels)
+        .set(double(census.heavyRecords));
+    live.gauge("cstf_skew_total_records", labels)
+        .set(double(census.totalRecords));
   }
   return plan;
 }

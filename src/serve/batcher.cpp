@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
 
 namespace cstf::serve {
 
@@ -50,6 +52,15 @@ std::string serveReportJson(const ServeStats& s) {
   w.kv("reloads", s.reloads);
   w.key("latencyMicros");
   histogramJson(w, s.latencyMicros);
+  if (s.sloP99TargetMicros > 0.0) {
+    w.key("slo");
+    w.beginObject();
+    w.kv("p99TargetMicros", s.sloP99TargetMicros);
+    w.kv("breaches", s.sloBreaches);
+    w.kv("recoveries", s.sloRecoveries);
+    w.kv("inBreach", s.sloInBreach);
+    w.endObject();
+  }
   w.endObject();
   return w.take();
 }
@@ -57,13 +68,68 @@ std::string serveReportJson(const ServeStats& s) {
 Batcher::Batcher(std::shared_ptr<const Engine> engine, BatcherOptions opts,
                  TraceRecorder& trace)
     : opts_(opts),
+      slo_(SloOptions{opts.sloP99Micros, opts.sloWindowMs, 8}),
       trace_(trace),
       cache_(opts.cacheCapacity, opts.cacheShards),
       start_(std::chrono::steady_clock::now()),
       engine_(std::move(engine)) {
   CSTF_CHECK(engine_ != nullptr, "batcher needs an engine");
   CSTF_CHECK(opts_.maxBatch >= 1, "maxBatch must be >= 1");
+  bindLiveInstruments();
   dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+void Batcher::bindLiveInstruments() {
+  metrics::Registry* reg = opts_.liveMetrics;
+  if (reg == nullptr) return;
+  live_.submitted = &reg->counter("serve_requests_submitted_total");
+  live_.completed = &reg->counter("serve_requests_completed_total");
+  live_.batches = &reg->counter("serve_batches_total");
+  live_.flushFull =
+      &reg->counter("serve_batch_flushes_total", {{"reason", "full"}});
+  live_.flushDeadline =
+      &reg->counter("serve_batch_flushes_total", {{"reason", "deadline"}});
+  live_.cacheHits = &reg->counter("serve_cache_hits_total");
+  live_.cacheMisses = &reg->counter("serve_cache_misses_total");
+  live_.coalesced = &reg->counter("serve_coalesced_total");
+  live_.reloads = &reg->counter("serve_reloads_total");
+  live_.sloBreaches = &reg->counter("serve_slo_breaches_total");
+  live_.sloRecoveries = &reg->counter("serve_slo_recoveries_total");
+  live_.queueDepth = &reg->gauge("serve_queue_depth");
+  live_.engineVersion = &reg->gauge("serve_engine_version");
+  live_.cacheHitRatio = &reg->gauge("serve_cache_hit_ratio");
+  live_.sloInBreach = &reg->gauge("serve_slo_in_breach");
+  live_.sloWindowP99 = &reg->gauge("serve_slo_window_p99_micros");
+  live_.latencyMicros = &reg->histogram("serve_latency_micros");
+  live_.batchSize = &reg->histogram("serve_batch_size");
+  slo_.setCallback([this](const SloEvent& ev) {
+    CSTF_LOG_WARN("serve SLO %s: window p99 %.0fus vs target %.0fus "
+                  "(%llu samples)",
+                  ev.breach ? "breach" : "recovered", ev.p99, ev.target,
+                  static_cast<unsigned long long>(ev.windowCount));
+    if (trace_.enabled()) {
+      trace_.recordInstant(
+          ev.breach ? "slo-breach" : "slo-recovery", "watchdog",
+          {{"p99Micros", strprintf("%.1f", ev.p99)},
+           {"targetMicros", strprintf("%.1f", ev.target)},
+           {"windowCount", std::to_string(ev.windowCount)}});
+    }
+    if (ev.breach) {
+      live_.sloBreaches->add();
+    } else {
+      live_.sloRecoveries->add();
+    }
+    live_.sloInBreach->set(ev.breach ? 1.0 : 0.0);
+  });
+}
+
+bool Batcher::checkSlo() {
+  if (!slo_.enabled()) return false;
+  const bool breached = slo_.checkNow();
+  if (live_.sloWindowP99 != nullptr) {
+    live_.sloWindowP99->set(slo_.windowP99());
+  }
+  return breached;
 }
 
 Batcher::~Batcher() {
@@ -80,12 +146,18 @@ std::future<Batcher::ResultPtr> Batcher::submit(TopKRequest req) {
   p.req = std::move(req);
   p.enqueued = std::chrono::steady_clock::now();
   std::future<ResultPtr> fut = p.promise.get_future();
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     CSTF_CHECK(!stop_, "batcher is shutting down");
     queue_.push_back(std::move(p));
+    depth = queue_.size();
   }
   cv_.notify_all();
+  if (live_.submitted != nullptr) {
+    live_.submitted->add();
+    live_.queueDepth->set(double(depth));
+  }
   {
     std::lock_guard<std::mutex> lock(statsMutex_);
     ++stats_.submitted;
@@ -103,6 +175,11 @@ void Batcher::reload(std::shared_ptr<const Engine> engine) {
   // In-flight batches hold the old engine snapshot; the version bump keeps
   // their results out of the cache, so clearing here is race-free.
   cache_.clear();
+  if (live_.reloads != nullptr) {
+    live_.reloads->add();
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_.engineVersion->set(double(version_));
+  }
   {
     std::lock_guard<std::mutex> lock(statsMutex_);
     ++stats_.reloads;
@@ -115,12 +192,21 @@ std::shared_ptr<const Engine> Batcher::engine() const {
 }
 
 ServeStats Batcher::stats() const {
-  std::lock_guard<std::mutex> lock(statsMutex_);
-  ServeStats s = stats_;
+  ServeStats s;
+  {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    s = stats_;
+  }
   s.elapsedSec = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - start_)
                      .count();
   s.qps = s.elapsedSec > 0.0 ? double(s.completed) / s.elapsedSec : 0.0;
+  if (slo_.enabled()) {
+    s.sloP99TargetMicros = opts_.sloP99Micros;
+    s.sloBreaches = slo_.breaches();
+    s.sloRecoveries = slo_.recoveries();
+    s.sloInBreach = slo_.inBreach();
+  }
   return s;
 }
 
@@ -213,6 +299,30 @@ void Batcher::processBatch(std::vector<Pending>& batch,
   // client has its answer, stats() is guaranteed to have seen the batch
   // (submitted == completed after clients drain).
   const auto now = std::chrono::steady_clock::now();
+  if (live_.completed != nullptr) {
+    live_.batches->add();
+    (full ? live_.flushFull : live_.flushDeadline)->add();
+    live_.completed->add(batch.size());
+    if (hits) live_.cacheHits->add(hits);
+    if (misses) live_.cacheMisses->add(misses);
+    if (batch.size() > groups.size()) {
+      live_.coalesced->add(batch.size() - groups.size());
+    }
+    live_.batchSize->record(double(batch.size()));
+    const std::uint64_t totalHits = live_.cacheHits->value();
+    const std::uint64_t lookups = totalHits + live_.cacheMisses->value();
+    live_.cacheHitRatio->set(
+        lookups ? double(totalHits) / double(lookups) : 0.0);
+  }
+  for (const Pending& p : batch) {
+    const double micros =
+        std::chrono::duration<double, std::micro>(now - p.enqueued).count();
+    // Lock-free per-request record; the mutexed stats_ copy below is
+    // per-batch bookkeeping, not the per-record path.
+    if (live_.latencyMicros != nullptr) live_.latencyMicros->record(micros);
+    slo_.record(micros);
+  }
+  checkSlo();
   {
     std::lock_guard<std::mutex> lock(statsMutex_);
     ++stats_.batches;

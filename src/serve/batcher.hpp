@@ -30,9 +30,11 @@
 #include <vector>
 
 #include "common/histogram.hpp"
+#include "common/metrics_registry.hpp"
 #include "common/rng.hpp"
 #include "common/trace.hpp"
 #include "common/types.hpp"
+#include "common/watchdog.hpp"
 #include "serve/cache.hpp"
 #include "serve/engine.hpp"
 
@@ -65,6 +67,14 @@ struct BatcherOptions {
   /// Total result-cache entries; 0 disables caching.
   std::size_t cacheCapacity = 4096;
   std::size_t cacheShards = 8;
+  /// Serving SLO: sliding-window p99 latency target in microseconds;
+  /// <= 0 disables the SLO watchdog.
+  double sloP99Micros = 0.0;
+  /// Sliding window the SLO p99 is computed over, in milliseconds.
+  double sloWindowMs = 200.0;
+  /// Live instrument sink (`serve_*` series); nullptr disables live
+  /// metrics. Defaults to the process-global registry.
+  metrics::Registry* liveMetrics = &metrics::globalRegistry();
 };
 
 /// Point-in-time snapshot of the batcher's counters.
@@ -81,6 +91,11 @@ struct ServeStats {
   std::uint64_t flushFull = 0;
   std::uint64_t flushDeadline = 0;
   std::uint64_t reloads = 0;
+  /// SLO watchdog state (all zero when the watchdog is disabled).
+  double sloP99TargetMicros = 0.0;
+  std::uint64_t sloBreaches = 0;
+  std::uint64_t sloRecoveries = 0;
+  bool sloInBreach = false;
   double elapsedSec = 0.0;
   /// completed / elapsedSec.
   double qps = 0.0;
@@ -117,6 +132,13 @@ class Batcher {
   std::shared_ptr<const Engine> engine() const;
   ServeStats stats() const;
 
+  /// Evaluate the SLO watchdog now (the dispatcher also evaluates it after
+  /// every batch). Call from the heartbeat so a drained window is noticed
+  /// — that is how the breach -> recovery transition fires once traffic
+  /// stops. Returns true while in breach; false when disabled.
+  bool checkSlo();
+  const SloWatchdog& slo() const { return slo_; }
+
  private:
   struct Pending {
     TopKRequest req;
@@ -128,8 +150,33 @@ class Batcher {
   void processBatch(std::vector<Pending>& batch,
                     const std::shared_ptr<const Engine>& engine,
                     std::uint64_t version, bool full);
+  void bindLiveInstruments();
+
+  /// Live (lock-free) instruments; all-null when liveMetrics is nullptr.
+  struct LiveInstruments {
+    metrics::Counter* submitted = nullptr;
+    metrics::Counter* completed = nullptr;
+    metrics::Counter* batches = nullptr;
+    metrics::Counter* flushFull = nullptr;
+    metrics::Counter* flushDeadline = nullptr;
+    metrics::Counter* cacheHits = nullptr;
+    metrics::Counter* cacheMisses = nullptr;
+    metrics::Counter* coalesced = nullptr;
+    metrics::Counter* reloads = nullptr;
+    metrics::Counter* sloBreaches = nullptr;
+    metrics::Counter* sloRecoveries = nullptr;
+    metrics::Gauge* queueDepth = nullptr;
+    metrics::Gauge* engineVersion = nullptr;
+    metrics::Gauge* cacheHitRatio = nullptr;
+    metrics::Gauge* sloInBreach = nullptr;
+    metrics::Gauge* sloWindowP99 = nullptr;
+    metrics::AtomicHistogram* latencyMicros = nullptr;
+    metrics::AtomicHistogram* batchSize = nullptr;
+  };
 
   const BatcherOptions opts_;
+  LiveInstruments live_;
+  SloWatchdog slo_;
   TraceRecorder& trace_;
   ShardedLruCache<TopKRequest, TopKResult, TopKRequestHash> cache_;
   const std::chrono::steady_clock::time_point start_;

@@ -9,8 +9,12 @@
 #include <unordered_set>
 
 #include "common/buffer_pool.hpp"
+#include "common/log.hpp"
+#include "common/metrics_registry.hpp"
+#include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
+#include "common/watchdog.hpp"
 #include "sparkle/cluster.hpp"
 #include "sparkle/metrics.hpp"
 #include "sparkle/partitioner.hpp"
@@ -36,6 +40,7 @@ class Context {
                                               config.numNodes))) {
     config_.validate();
     applyChaosFromEnv(config_);
+    bindLiveInstruments(&metrics::globalRegistry());
   }
 
   Context(const Context&) = delete;
@@ -91,6 +96,66 @@ class Context {
   /// dataset.hpp (needs the complete DatasetBase type).
   std::size_t evictCachedBlocksOnNode(int node);
 
+  /// Straggler watchdog fed by every task this context runs. Flags fire a
+  /// live log warning, a trace instant, and `sparkle_straggler_tasks_total`.
+  /// The heartbeat's check callback should call straggler().checkNow() to
+  /// catch tasks still running.
+  StragglerWatchdog& straggler() { return straggler_; }
+
+  /// Re-point live instrumentation (task counters, straggler counter, and
+  /// the stage mirror in metrics()) at `live`; nullptr disables. Call
+  /// before any stage runs.
+  void bindLiveInstruments(metrics::Registry* live) {
+    metrics_.bindLive(live);
+    if (live != nullptr) {
+      liveTasksStarted_ = &live->counter("sparkle_tasks_started_total");
+      liveTasksFinished_ = &live->counter("sparkle_tasks_finished_total");
+      liveTasksInflight_ = &live->gauge("sparkle_tasks_inflight");
+      liveStragglers_ = &live->counter("sparkle_straggler_tasks_total");
+    } else {
+      liveTasksStarted_ = nullptr;
+      liveTasksFinished_ = nullptr;
+      liveTasksInflight_ = nullptr;
+      liveStragglers_ = nullptr;
+    }
+    straggler_.setCallback([this](const StragglerEvent& ev) {
+      CSTF_LOG_WARN(
+          "straggler: stage %llu partition %u %s %.3fs vs stage median "
+          "%.3fs (%.1fx)",
+          static_cast<unsigned long long>(ev.stageId), ev.partition,
+          ev.stillRunning ? "running for" : "took", ev.taskSec, ev.medianSec,
+          ev.ratio);
+      if (trace_->enabled()) {
+        trace_->recordInstant(
+            "straggler", "watchdog",
+            {{"stage", std::to_string(ev.stageId)},
+             {"partition", std::to_string(ev.partition)},
+             {"taskSec", strprintf("%.6f", ev.taskSec)},
+             {"medianSec", strprintf("%.6f", ev.medianSec)},
+             {"ratio", strprintf("%.2f", ev.ratio)},
+             {"stillRunning", ev.stillRunning ? "true" : "false"}});
+      }
+      if (liveStragglers_) liveStragglers_->add();
+    });
+  }
+
+  /// Per-task live hooks for stage executors: count the task, mark it with
+  /// the straggler watchdog, and keep the in-flight gauge fresh.
+  void noteTaskStarted(std::uint64_t stageId, std::uint32_t partition) {
+    if (liveTasksStarted_) liveTasksStarted_->add();
+    straggler_.taskStarted(stageId, partition);
+    if (liveTasksInflight_) {
+      liveTasksInflight_->set(static_cast<double>(straggler_.running()));
+    }
+  }
+  void noteTaskFinished(std::uint64_t stageId, std::uint32_t partition) {
+    straggler_.taskFinished(stageId, partition);
+    if (liveTasksFinished_) liveTasksFinished_->add();
+    if (liveTasksInflight_) {
+      liveTasksInflight_->set(static_cast<double>(straggler_.running()));
+    }
+  }
+
  private:
   ClusterConfig config_;
   MetricsRegistry metrics_;
@@ -98,6 +163,11 @@ class Context {
   cstf::BufferPool bufferPool_;
   std::size_t defaultParallelism_;
   TraceRecorder* trace_ = &globalTrace();
+  StragglerWatchdog straggler_;
+  metrics::Counter* liveTasksStarted_ = nullptr;
+  metrics::Counter* liveTasksFinished_ = nullptr;
+  metrics::Gauge* liveTasksInflight_ = nullptr;
+  metrics::Counter* liveStragglers_ = nullptr;
   std::atomic<std::uint64_t> nextDatasetId_{1};
   mutable std::mutex datasetsMutex_;
   std::unordered_set<DatasetBase*> datasets_;

@@ -166,6 +166,7 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
       TraceRecorder& rec = ctx->trace();
       const double traceTs = rec.enabled() ? rec.nowMicros() : 0.0;
       const auto tt0 = std::chrono::steady_clock::now();
+      ctx->noteTaskStarted(stageId, static_cast<std::uint32_t>(p));
       TaskContext taskResult;
       runTaskWithRetries(ctx, stageId, p, label_, taskResult,
                          [&](TaskContext& tc) {
@@ -219,6 +220,7 @@ class ShuffledDataset final : public Dataset<std::pair<K, V>> {
       task.wallTimeSec = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - tt0)
                              .count();
+      ctx->noteTaskFinished(stageId, static_cast<std::uint32_t>(p));
       if (rec.enabled()) {
         rec.recordComplete(
             "task:" + label_ + " p" + std::to_string(p), "task", traceTs,

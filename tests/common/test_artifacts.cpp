@@ -1,0 +1,74 @@
+// Atomic artifact writes: full replacement or nothing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/artifacts.hpp"
+
+namespace cstf {
+namespace {
+
+struct TempPath {
+  std::string path;
+  explicit TempPath(const std::string& name) {
+    path = testing::TempDir() + name;
+    std::remove(path.c_str());
+  }
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Artifacts, WriteCreatesFileWithExactContent) {
+  TempPath p("artifact_basic.json");
+  EXPECT_TRUE(writeFileAtomic(p.path, "{\"a\":1}\n"));
+  EXPECT_EQ(slurp(p.path), "{\"a\":1}\n");
+}
+
+TEST(Artifacts, WriteReplacesExistingContentCompletely) {
+  TempPath p("artifact_replace.json");
+  ASSERT_TRUE(writeFileAtomic(p.path, std::string(4096, 'x')));
+  // Shorter rewrite must fully replace, never leave a tail of the old file.
+  ASSERT_TRUE(writeFileAtomic(p.path, "short"));
+  EXPECT_EQ(slurp(p.path), "short");
+}
+
+TEST(Artifacts, NoTempFileLeftBehind) {
+  TempPath p("artifact_tmp.json");
+  ASSERT_TRUE(writeFileAtomic(p.path, "data"));
+  // The sibling temp file used for the atomic rename must be gone.
+  std::ifstream tmp(p.path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST(Artifacts, FailureReturnsFalseAndLeavesNoFile) {
+  const std::string bad = testing::TempDir() + "no_such_dir/out.json";
+  EXPECT_FALSE(writeFileAtomic(bad, "data"));
+  std::ifstream in(bad);
+  EXPECT_FALSE(in.good());
+}
+
+TEST(Artifacts, WriteArtifactReportsSuccess) {
+  TempPath p("artifact_logged.json");
+  EXPECT_TRUE(writeArtifact(p.path, "content", "test artifact"));
+  EXPECT_EQ(slurp(p.path), "content");
+  EXPECT_FALSE(
+      writeArtifact(testing::TempDir() + "missing_dir/x.json", "c", "x"));
+}
+
+TEST(Artifacts, EmptyContentIsValid) {
+  TempPath p("artifact_empty.json");
+  EXPECT_TRUE(writeFileAtomic(p.path, ""));
+  EXPECT_EQ(slurp(p.path), "");
+}
+
+}  // namespace
+}  // namespace cstf

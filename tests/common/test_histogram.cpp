@@ -2,7 +2,9 @@
 // equivalence.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "common/histogram.hpp"
@@ -95,6 +97,87 @@ TEST(Histogram, ResetForgetsEverything) {
   h.reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(WindowedHistogram, RotationDiscardsOldestEpoch) {
+  WindowedHistogram w(3);
+  w.record(1.0);
+  w.rotate();
+  w.record(2.0);
+  w.rotate();
+  w.record(3.0);
+  EXPECT_EQ(w.count(), 3u);
+  // A third rotation reuses epoch 0, discarding the 1.0.
+  w.rotate();
+  EXPECT_EQ(w.count(), 2u);
+  const Histogram m = w.merged();
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_EQ(m.min(), 2.0);
+  EXPECT_EQ(m.max(), 3.0);
+}
+
+TEST(WindowedHistogram, FullWindowAgesOutCompletely) {
+  WindowedHistogram w(4);
+  for (int i = 0; i < 16; ++i) {
+    w.record(double(i + 1));
+    w.rotate();
+  }
+  // Only the last `epochs` records can survive rotation churn.
+  EXPECT_LE(w.count(), 4u);
+  for (std::size_t i = 0; i < w.epochs(); ++i) w.rotate();
+  EXPECT_EQ(w.count(), 0u);
+}
+
+TEST(WindowedHistogram, MergeOfEmptyEpochsIsEmpty) {
+  WindowedHistogram w(5);
+  const Histogram m = w.merged();
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.quantile(0.99), 0.0);
+  w.rotate();  // rotating an idle window stays empty
+  EXPECT_EQ(w.merged().count(), 0u);
+}
+
+TEST(WindowedHistogram, MergedMatchesSingleHistogramWithoutRotation) {
+  WindowedHistogram w(8);
+  Histogram ref;
+  for (int i = 1; i <= 500; ++i) {
+    w.record(double(i));
+    ref.record(double(i));
+  }
+  const Histogram m = w.merged();
+  EXPECT_EQ(m.count(), ref.count());
+  EXPECT_EQ(m.min(), ref.min());
+  EXPECT_EQ(m.max(), ref.max());
+  EXPECT_EQ(m.quantile(0.99), ref.quantile(0.99));
+}
+
+TEST(WindowedHistogram, ResetClearsEveryEpoch) {
+  WindowedHistogram w(3);
+  w.record(1.0);
+  w.rotate();
+  w.record(2.0);
+  w.reset();
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.merged().count(), 0u);
+}
+
+TEST(Histogram, FromPartsRoundTripsViaBuckets) {
+  // AtomicHistogram::snapshot() rebuilds through fromParts with bucket
+  // counts tallied via the shared bucketOf layout; emulate it.
+  Histogram src;
+  std::array<std::uint64_t, Histogram::kBuckets> cells{};
+  double sum = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    src.record(double(i));
+    ++cells[Histogram::bucketOf(double(i))];
+    sum += double(i);
+  }
+  Histogram copy =
+      Histogram::fromParts(src.count(), src.min(), src.max(), sum, cells);
+  EXPECT_EQ(copy.count(), src.count());
+  EXPECT_EQ(copy.min(), src.min());
+  EXPECT_EQ(copy.max(), src.max());
+  EXPECT_EQ(copy.quantile(0.5), src.quantile(0.5));
 }
 
 }  // namespace

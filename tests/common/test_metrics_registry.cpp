@@ -1,0 +1,182 @@
+// Live metrics registry: lock-free instruments, consistent snapshots,
+// exporter formats. The multi-threaded cases run under the TSan CI leg.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics_registry.hpp"
+
+namespace cstf::metrics {
+namespace {
+
+TEST(MetricsRegistry, FindOrCreateReturnsSameInstrument) {
+  Registry r;
+  Counter& a = r.counter("requests_total");
+  Counter& b = r.counter("requests_total");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  // Different labels are a different series.
+  Counter& c = r.counter("requests_total", {{"mode", "1"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(MetricsRegistry, OneTypePerNameIsEnforced) {
+  Registry r;
+  r.counter("x_total");
+  EXPECT_THROW(r.gauge("x_total"), std::exception);
+  EXPECT_THROW(r.histogram("x_total"), std::exception);
+  r.gauge("depth");
+  EXPECT_THROW(r.counter("depth"), std::exception);
+}
+
+TEST(MetricsRegistry, RejectsBadNames) {
+  Registry r;
+  EXPECT_THROW(r.counter("bad-name"), std::exception);
+  EXPECT_THROW(r.counter(""), std::exception);
+  EXPECT_THROW(r.counter("ok", {{"bad label", "v"}}), std::exception);
+  EXPECT_NO_THROW(r.counter("_ok_total", {{"mode", "any value is fine"}}));
+}
+
+TEST(MetricsRegistry, GaugeLastWriteWins) {
+  Registry r;
+  Gauge& g = r.gauge("fit");
+  g.set(0.25);
+  g.set(0.75);
+  EXPECT_EQ(g.value(), 0.75);
+  const Snapshot s = r.snapshot();
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_EQ(s.gauges[0].value, 0.75);
+}
+
+TEST(MetricsRegistry, SnapshotSeqStrictlyIncreases) {
+  Registry r;
+  r.counter("c_total").add();
+  const Snapshot a = r.snapshot();
+  const Snapshot b = r.snapshot();
+  EXPECT_GT(b.seq, a.seq);
+  EXPECT_GE(b.uptimeMs, a.uptimeMs);
+}
+
+TEST(MetricsRegistry, MultiThreadedCounterIsExact) {
+  Registry r;
+  Counter& c = r.counter("hits_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), std::uint64_t(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, CountersNeverGoBackwardsUnderConcurrency) {
+  Registry r;
+  Counter& c = r.counter("work_total");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) c.add();
+    });
+  }
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Snapshot s = r.snapshot();
+    ASSERT_EQ(s.counters.size(), 1u);
+    EXPECT_GE(s.counters[0].value, last);
+    last = s.counters[0].value;
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(r.snapshot().counters[0].value, c.value());
+}
+
+TEST(MetricsRegistry, GaugeVisibleAcrossThreads) {
+  Registry r;
+  Gauge& g = r.gauge("depth");
+  std::thread writer([&g] { g.set(42.0); });
+  writer.join();
+  // join() synchronizes, so the write must be visible here.
+  EXPECT_EQ(g.value(), 42.0);
+}
+
+TEST(MetricsRegistry, ConcurrentFindOrCreateYieldsOneSeries) {
+  Registry r;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&r] {
+      for (int i = 0; i < 500; ++i) r.counter("shared_total").add();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.counter("shared_total").value(), std::uint64_t(kThreads) * 500);
+}
+
+TEST(MetricsRegistry, AtomicHistogramConcurrentRecords) {
+  Registry r;
+  AtomicHistogram& h = r.histogram("lat_micros");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h, t] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        h.record(double(i + t));  // values in [1, kPerThread + kThreads)
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const Histogram snap = h.snapshot();
+  EXPECT_EQ(snap.count(), std::uint64_t(kThreads) * kPerThread);
+  EXPECT_EQ(snap.min(), 1.0);
+  EXPECT_EQ(snap.max(), double(kPerThread + kThreads - 1));
+  EXPECT_GT(snap.quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistry, JsonLineHasSchemaAndSeries) {
+  Registry r;
+  r.counter("c_total", {{"mode", "1"}}).add(7);
+  r.gauge("g").set(1.5);
+  r.histogram("h").record(10.0);
+  const std::string line = r.snapshot().toJsonLine();
+  EXPECT_NE(line.find("\"schema\":\"cstf-metrics-v1\""), std::string::npos);
+  EXPECT_NE(line.find("\"c_total\""), std::string::npos);
+  EXPECT_NE(line.find("\"mode\""), std::string::npos);
+  EXPECT_NE(line.find("\"p99\""), std::string::npos);
+  // One object per line: no embedded newlines.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusTextHasTypesAndSummaries) {
+  Registry r;
+  r.counter("c_total").add(2);
+  r.gauge("g").set(3.0);
+  r.histogram("h").record(5.0);
+  const std::string text = r.snapshot().toPrometheusText();
+  EXPECT_NE(text.find("# TYPE c_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE g gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE h summary"), std::string::npos);
+  EXPECT_NE(text.find("h_sum"), std::string::npos);
+  EXPECT_NE(text.find("h_count 1"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, GlobalRegistryIsAStableSingleton) {
+  Registry& a = globalRegistry();
+  Registry& b = globalRegistry();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace cstf::metrics

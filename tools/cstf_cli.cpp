@@ -24,6 +24,9 @@
 //   --trace-out P   write a Chrome-trace JSON (load in Perfetto / about:tracing)
 //   --report-out P  write the structured run report as JSON
 //   --metrics-csv P write per-stage engine metrics as CSV
+//   --metrics-out P stream live cstf-metrics-v1 heartbeat snapshots to P
+//                   (ndjson) and a Prometheus exposition to P.prom
+//   --metrics-interval-ms N  heartbeat sampling period (default 100)
 //   --checkpoint-dir D   persist ALS state into D (see --checkpoint-every)
 //   --checkpoint-every K write a checkpoint every K iterations (default 1)
 //   --resume D           continue from the latest checkpoint in D
@@ -55,6 +58,11 @@
 //   --max-delay-micros U  batcher deadline (default 200)
 //   --cache-capacity C    result-cache entries, 0 disables (default 4096)
 //   --report-out P  also write the serve report JSON to P
+//   --metrics-out P / --metrics-interval-ms N  as for factor
+//   --slo-p99-us T  SLO watchdog: flag sliding-window p99 latency above
+//                   T microseconds (breach/recovery transitions are logged,
+//                   traced, and counted; 0 disables)
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -62,10 +70,14 @@
 #include <fstream>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/artifacts.hpp"
+#include "common/heartbeat.hpp"
+#include "common/metrics_registry.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "cstf/cstf.hpp"
@@ -94,13 +106,16 @@ int usage() {
                "                   [--resume D] [--node-loss-rate R]\n"
                "                   [--task-failure-rate R] [--fault-seed S]\n"
                "                   [--max-stage-attempts N] [--model-out P]\n"
+               "                   [--metrics-out P] [--metrics-interval-ms N]\n"
                "       cstf query --model P --indices i1,_,i3 [--top-k K]\n"
                "                   [--brute-force]\n"
                "       cstf serve-bench --model P [--mode M] [--top-k K]\n"
                "                   [--clients N] [--requests N] [--distinct D]\n"
                "                   [--zipf S] [--max-batch B]\n"
                "                   [--max-delay-micros U] [--cache-capacity C]\n"
-               "                   [--seed S] [--report-out P] [--brute-force]\n");
+               "                   [--seed S] [--report-out P] [--brute-force]\n"
+               "                   [--metrics-out P] [--metrics-interval-ms N]\n"
+               "                   [--slo-p99-us T]\n");
   return 2;
 }
 
@@ -151,6 +166,10 @@ struct Args {
   std::size_t maxBatch = 0;  // 0: default to `clients`
   std::uint64_t maxDelayMicros = 200;
   std::size_t cacheCapacity = 4096;
+  // live metrics / watchdogs
+  std::string metricsOut;
+  int metricsIntervalMs = 100;
+  double sloP99Us = 0.0;
 };
 
 bool parseArgs(int argc, char** argv, Args& a) {
@@ -290,6 +309,18 @@ bool parseArgs(int argc, char** argv, Args& a) {
       const char* v = next("--cache-capacity");
       if (!v) return false;
       a.cacheCapacity = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--metrics-out") {
+      const char* v = next("--metrics-out");
+      if (!v) return false;
+      a.metricsOut = v;
+    } else if (arg == "--metrics-interval-ms") {
+      const char* v = next("--metrics-interval-ms");
+      if (!v) return false;
+      a.metricsIntervalMs = std::atoi(v);
+    } else if (arg == "--slo-p99-us") {
+      const char* v = next("--slo-p99-us");
+      if (!v) return false;
+      a.sloP99Us = std::atof(v);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -298,6 +329,18 @@ bool parseArgs(int argc, char** argv, Args& a) {
     }
   }
   return true;
+}
+
+/// Heartbeat over the global registry streaming to --metrics-out (ndjson)
+/// and --metrics-out.prom. Null when no metrics path was requested; the
+/// caller registers its watchdog checks, then start()s it.
+std::unique_ptr<Heartbeat> makeHeartbeat(const Args& a) {
+  if (a.metricsOut.empty()) return nullptr;
+  HeartbeatOptions o;
+  o.ndjsonPath = a.metricsOut;
+  o.promPath = a.metricsOut + ".prom";
+  o.intervalMs = a.metricsIntervalMs;
+  return std::make_unique<Heartbeat>(metrics::globalRegistry(), o);
 }
 
 void writeMatrix(const std::string& path, const la::Matrix& m) {
@@ -351,6 +394,34 @@ int cmdFactor(const Args& a, const std::string& spec) {
   sparkle::Context ctx(cluster);
   if (!a.traceOut.empty()) ctx.trace().setEnabled(true);
 
+  // One call writes every requested artifact through the same atomic
+  // writer — the success path and the abort path below must not diverge.
+  auto writeRunArtifacts = [&](const cstf_core::RunReport* report,
+                               bool strict) {
+    auto put = [&](const std::string& path, const std::string& content,
+                   const char* what) {
+      if (path.empty()) return;
+      if (!writeArtifact(path, content, what) && strict) {
+        throw Error("cannot write " + path);
+      }
+    };
+    if (!a.traceOut.empty()) {
+      put(a.traceOut, ctx.trace().toChromeJson(), "trace");
+    }
+    if (report != nullptr && !a.reportOut.empty()) {
+      put(a.reportOut, report->toJson(), "run report");
+    }
+    if (!a.metricsCsv.empty()) {
+      put(a.metricsCsv, ctx.metrics().toCsv(), "stage metrics");
+    }
+  };
+
+  std::unique_ptr<Heartbeat> heartbeat = makeHeartbeat(a);
+  if (heartbeat) {
+    heartbeat->addCheck([&ctx] { ctx.straggler().checkNow(); });
+    heartbeat->start();
+  }
+
   cstf_core::CpAlsOptions opts;
   opts.rank = a.rank;
   opts.maxIterations = a.iters;
@@ -365,7 +436,26 @@ int cmdFactor(const Args& a, const std::string& spec) {
               "%d simulated nodes\n",
               a.rank, cstf_core::backendName(backend),
               a.skewPolicy.c_str(), a.nodes);
-  const auto result = cstf_core::cpAls(ctx, t, opts);
+  cstf_core::CpAlsResult result;
+  try {
+    result = cstf_core::cpAls(ctx, t, opts);
+  } catch (const JobAbortedError&) {
+    // Flush telemetry before propagating: an aborted run still leaves its
+    // trace, a partial run report (everything the registry saw up to the
+    // abort), the stage CSV, and a final live-metrics snapshot — exactly
+    // the artifacts a post-mortem needs.
+    cstf_core::RunReport report;
+    report.backend = cstf_core::backendName(backend);
+    report.skewPolicy = a.skewPolicy;
+    report.rank = a.rank;
+    report.dims = t.dims();
+    report.nnz = t.nnz();
+    report.nodes = a.nodes;
+    cstf_core::finalizeRunReport(ctx.metrics(), report);
+    writeRunArtifacts(&report, /*strict=*/false);
+    if (heartbeat) heartbeat->stop();
+    throw;
+  }
   if (result.report.resumedFromIteration > 0) {
     std::printf("resumed from checkpoint after iteration %d\n",
                 result.report.resumedFromIteration);
@@ -392,25 +482,8 @@ int cmdFactor(const Args& a, const std::string& spec) {
               humanBytes(double(m.shuffleBytesLocal)).c_str(),
               double(m.flops), humanSeconds(m.simTimeSec).c_str());
 
-  if (!a.traceOut.empty()) {
-    if (!writeTextFile(a.traceOut, ctx.trace().toChromeJson())) {
-      throw Error("cannot write " + a.traceOut);
-    }
-    std::printf("trace written to %s (load in Perfetto)\n",
-                a.traceOut.c_str());
-  }
-  if (!a.reportOut.empty()) {
-    if (!writeTextFile(a.reportOut, result.report.toJson())) {
-      throw Error("cannot write " + a.reportOut);
-    }
-    std::printf("run report written to %s\n", a.reportOut.c_str());
-  }
-  if (!a.metricsCsv.empty()) {
-    if (!writeTextFile(a.metricsCsv, ctx.metrics().toCsv())) {
-      throw Error("cannot write " + a.metricsCsv);
-    }
-    std::printf("stage metrics written to %s\n", a.metricsCsv.c_str());
-  }
+  if (heartbeat) heartbeat->stop();  // final snapshot before artifacts
+  writeRunArtifacts(&result.report, /*strict=*/true);
 
   if (!a.output.empty()) {
     for (std::size_t k = 0; k < result.factors.size(); ++k) {
@@ -533,7 +606,14 @@ int cmdServeBench(const Args& a) {
   opts.maxBatch = a.maxBatch ? a.maxBatch : a.clients;
   opts.maxDelayMicros = a.maxDelayMicros;
   opts.cacheCapacity = a.cacheCapacity;
+  opts.sloP99Micros = a.sloP99Us;
   serve::Batcher batcher(engine, opts);
+
+  std::unique_ptr<Heartbeat> heartbeat = makeHeartbeat(a);
+  if (heartbeat) {
+    heartbeat->addCheck([&batcher] { batcher.checkSlo(); });
+    heartbeat->start();
+  }
 
   std::printf("serve-bench: %zu clients, %zu requests over %zu tuples "
               "(zipf %.2f), top-%zu along mode %d, maxBatch %zu, "
@@ -557,14 +637,23 @@ int cmdServeBench(const Args& a) {
   }
   for (auto& w : workers) w.join();
 
+  if (batcher.slo().enabled()) {
+    // Let the sliding window drain, then evaluate once more: an overloaded
+    // run that breached mid-flight records its recovery transition here
+    // (empty window => p99 0 => recovered).
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<int>(batcher.slo().windowMs()) + 50));
+    batcher.checkSlo();
+  }
+
   const serve::ServeStats stats = batcher.stats();
   const std::string report = serve::serveReportJson(stats);
   std::printf("%s\n", report.c_str());
+  if (heartbeat) heartbeat->stop();
   if (!a.reportOut.empty()) {
-    if (!writeTextFile(a.reportOut, report)) {
+    if (!writeArtifact(a.reportOut, report, "serve report")) {
       throw Error("cannot write " + a.reportOut);
     }
-    std::fprintf(stderr, "serve report written to %s\n", a.reportOut.c_str());
   }
   return 0;
 }

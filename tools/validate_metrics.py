@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Schema gate for cstf-metrics-v1 live-metrics artifacts.
+
+Validates an ndjson heartbeat stream (and optionally the Prometheus text
+exposition written next to it) produced by --metrics-out:
+
+  ndjson stream:
+    - every line parses as JSON with schema == "cstf-metrics-v1"
+    - seq strictly increasing, uptimeMs non-decreasing
+    - metric/label names match [a-zA-Z_][a-zA-Z0-9_]*
+    - counter values are non-negative integers, monotone per series
+    - gauge values are finite numbers
+    - histogram count/sum monotone per series; quantiles ordered
+      (min <= p50 <= p95 <= p99 <= max) whenever count > 0
+  Prometheus exposition:
+    - every series has a preceding "# TYPE <name> counter|gauge|summary"
+    - sample lines match the exposition grammar
+    - each summary has _sum and _count samples
+
+Usage:
+  validate_metrics.py run.ndjson [--prom run.ndjson.prom]
+      [--min-snapshots N] [--require-counter NAME=MIN]...
+
+Exit status 0 when valid, 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+PROM_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_][a-zA-Z0-9_]*) (counter|gauge|summary)$")
+PROM_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_][a-zA-Z0-9_]*)"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r" (-?(?:[0-9.eE+-]+|NaN|Inf|\+Inf|-Inf))$"
+)
+
+
+def fail(msg):
+    print(f"validate_metrics: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def series_key(name, labels):
+    return name + "|" + ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def check_labels(labels, where):
+    if not isinstance(labels, dict):
+        fail(f"{where}: labels must be an object")
+    for k in labels:
+        if not NAME_RE.match(k):
+            fail(f"{where}: bad label name {k!r}")
+
+
+def validate_ndjson(path):
+    last_seq = None
+    last_uptime = None
+    counters = {}
+    hist_counts = {}
+    snapshots = 0
+    final = None
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                snap = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{where}: not valid JSON ({e})")
+            if snap.get("schema") != "cstf-metrics-v1":
+                fail(f"{where}: schema is {snap.get('schema')!r}, "
+                     "expected 'cstf-metrics-v1'")
+            seq = snap.get("seq")
+            if not isinstance(seq, int):
+                fail(f"{where}: seq missing or not an integer")
+            if last_seq is not None and seq <= last_seq:
+                fail(f"{where}: seq {seq} not greater than previous {last_seq}")
+            last_seq = seq
+            uptime = snap.get("uptimeMs")
+            if not isinstance(uptime, (int, float)) or not math.isfinite(uptime):
+                fail(f"{where}: uptimeMs missing or not finite")
+            if last_uptime is not None and uptime < last_uptime:
+                fail(f"{where}: uptimeMs went backwards "
+                     f"({last_uptime} -> {uptime})")
+            last_uptime = uptime
+
+            for c in snap.get("counters", []):
+                name = c.get("name", "")
+                if not NAME_RE.match(name):
+                    fail(f"{where}: bad counter name {name!r}")
+                labels = c.get("labels", {})
+                check_labels(labels, where)
+                v = c.get("value")
+                if not isinstance(v, int) or v < 0:
+                    fail(f"{where}: counter {name} value {v!r} is not a "
+                         "non-negative integer")
+                key = series_key(name, labels)
+                if key in counters and v < counters[key]:
+                    fail(f"{where}: counter {name} went backwards "
+                         f"({counters[key]} -> {v})")
+                counters[key] = v
+
+            for g in snap.get("gauges", []):
+                name = g.get("name", "")
+                if not NAME_RE.match(name):
+                    fail(f"{where}: bad gauge name {name!r}")
+                check_labels(g.get("labels", {}), where)
+                v = g.get("value")
+                if not isinstance(v, (int, float)) or not math.isfinite(v):
+                    fail(f"{where}: gauge {name} value {v!r} is not finite")
+
+            for h in snap.get("histograms", []):
+                name = h.get("name", "")
+                if not NAME_RE.match(name):
+                    fail(f"{where}: bad histogram name {name!r}")
+                labels = h.get("labels", {})
+                check_labels(labels, where)
+                count = h.get("count")
+                if not isinstance(count, int) or count < 0:
+                    fail(f"{where}: histogram {name} count {count!r} invalid")
+                key = series_key(name, labels)
+                if key in hist_counts and count < hist_counts[key]:
+                    fail(f"{where}: histogram {name} count went backwards "
+                         f"({hist_counts[key]} -> {count})")
+                hist_counts[key] = count
+                if count > 0:
+                    q = [h.get("min"), h.get("p50"), h.get("p95"),
+                         h.get("p99"), h.get("max")]
+                    if any(not isinstance(x, (int, float)) or
+                           not math.isfinite(x) for x in q):
+                        fail(f"{where}: histogram {name} quantiles not finite")
+                    lo, p50, p95, p99, hi = q
+                    if not (lo <= p50 <= p95 <= p99 <= hi):
+                        fail(f"{where}: histogram {name} quantiles out of "
+                             f"order: min={lo} p50={p50} p95={p95} "
+                             f"p99={p99} max={hi}")
+            snapshots += 1
+            final = snap
+    return snapshots, counters, final
+
+
+def validate_prom(path):
+    typed = {}
+    summaries = set()
+    summary_parts = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            where = f"{path}:{lineno}"
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                m = PROM_TYPE_RE.match(line)
+                if not m:
+                    fail(f"{where}: bad comment line {line!r} "
+                         "(only '# TYPE name kind' comments are emitted)")
+                name, kind = m.group(1), m.group(2)
+                if name in typed and typed[name] != kind:
+                    fail(f"{where}: {name} re-typed {typed[name]} -> {kind}")
+                typed[name] = kind
+                if kind == "summary":
+                    summaries.add(name)
+                continue
+            m = PROM_SAMPLE_RE.match(line)
+            if not m:
+                fail(f"{where}: bad sample line {line!r}")
+            name = m.group(1)
+            base = name
+            for suffix in ("_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in summaries:
+                    base = name[: -len(suffix)]
+                    summary_parts.setdefault(base, set()).add(suffix)
+            if base not in typed:
+                fail(f"{where}: sample {name} has no preceding # TYPE line")
+    for name in summaries:
+        parts = summary_parts.get(name, set())
+        if parts != {"_sum", "_count"}:
+            fail(f"{path}: summary {name} missing "
+                 f"{sorted({'_sum', '_count'} - parts)} samples")
+    return len(typed)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("ndjson", help="cstf-metrics-v1 ndjson stream")
+    ap.add_argument("--prom", help="Prometheus exposition file to validate")
+    ap.add_argument("--min-snapshots", type=int, default=1,
+                    help="require at least N snapshots (default 1)")
+    ap.add_argument("--require-counter", action="append", default=[],
+                    metavar="NAME=MIN",
+                    help="require counter NAME >= MIN in the final snapshot")
+    args = ap.parse_args()
+
+    snapshots, counters, final = validate_ndjson(args.ndjson)
+    if snapshots < args.min_snapshots:
+        fail(f"{args.ndjson}: {snapshots} snapshots, "
+             f"need >= {args.min_snapshots}")
+
+    for req in args.require_counter:
+        name, _, minv = req.partition("=")
+        want = int(minv) if minv else 1
+        got = max((v for k, v in counters.items()
+                   if k.split("|", 1)[0] == name), default=None)
+        if got is None:
+            fail(f"{args.ndjson}: required counter {name} never appeared")
+        if got < want:
+            fail(f"{args.ndjson}: counter {name} = {got}, need >= {want}")
+
+    prom_series = validate_prom(args.prom) if args.prom else 0
+    msg = f"validate_metrics: OK ({snapshots} snapshots, " \
+          f"{len(counters)} counter series"
+    if args.prom:
+        msg += f", {prom_series} prom metric names"
+    print(msg + ")")
+
+
+if __name__ == "__main__":
+    main()
