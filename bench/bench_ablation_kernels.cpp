@@ -1,0 +1,209 @@
+// Local-kernel ablation (google-benchmark): the per-partition MTTKRP
+// kernels (coo row-at-a-time vs csf compressed-fiber) head to head, plus
+// the end-to-end CP-ALS effect of selecting them via --local-kernel.
+//
+// The CI bench-smoke leg gates this suite against
+// bench/baselines/bench_ablation_kernels.json and additionally asserts
+// that BM_KernelZipf3DCsf clears >= 1.5x BM_KernelZipf3DCoo (the
+// compressed-fiber kernel's reason to exist).
+//
+// Headline counters:
+//   kernel_mflops      — arithmetic attributed by LocalKernelStats
+//   layout_build_ms    — one-time CSF layout construction cost
+//   sim_sec_per_iter   — modeled cluster seconds per CP-ALS iteration
+//   shuffle_ops        — wide stages per run (local path: 1 per mode)
+//
+// Unlike the paper-table benches this binary is google-benchmark based,
+// so the shared bench_util harness does not apply; it still accepts
+//   --metrics-out P [--metrics-interval-ms N]
+// and streams cstf-metrics-v1 heartbeat snapshots of the process-global
+// live registry (layout builds, kernel invocations/flops) to P, with a
+// Prometheus exposition at P.prom — tools/validate_metrics.py gates the
+// ndjson in CI.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/heartbeat.hpp"
+#include "common/metrics_registry.hpp"
+#include "cstf/cstf.hpp"
+#include "sparkle/sparkle.hpp"
+#include "tensor/csf.hpp"
+#include "tensor/generator.hpp"
+
+namespace {
+
+using namespace cstf;
+
+const tensor::CooTensor& zipf3d() {
+  // Dense enough in slice/fiber space (dims 500^3) that fibers carry
+  // multiple nonzeros — the regime the compressed layout targets.
+  static const tensor::CooTensor t =
+      tensor::generateZipf({500, 500, 500}, 100000, 1.1, 4242);
+  return t;
+}
+
+const tensor::CooTensor& zipf4d() {
+  static const tensor::CooTensor t =
+      tensor::generateZipf({300, 300, 300, 300}, 60000, 1.1, 2424);
+  return t;
+}
+
+std::vector<la::Matrix> factorsFor(const tensor::CooTensor& t,
+                                   std::size_t rank) {
+  return cstf_core::randomFactors(t.dims(), rank, 7);
+}
+
+// --- raw per-partition kernels (the 1.5x gate watches the 3-D pair) ---
+
+void runKernel(benchmark::State& state, const tensor::CooTensor& t,
+               sparkle::LocalKernel kind) {
+  const std::size_t rank = 8;
+  const auto fs = factorsFor(t, rank);
+  const tensor::CsfLayout layout =
+      tensor::buildCsfLayout(t.nonzeros(), t.order());
+  const auto* layoutPtr =
+      kind == sparkle::LocalKernel::kCsf ? &layout : nullptr;
+  const auto& kernel = cstf_core::localKernelFor(kind);
+  std::uint64_t flops = 0;
+  for (auto _ : state) {
+    for (ModeId mode = 0; mode < t.order(); ++mode) {
+      cstf_core::LocalKernelStats stats;
+      benchmark::DoNotOptimize(
+          kernel.compute(t.nonzeros(), layoutPtr, fs, mode, stats));
+      flops = stats.flops;
+    }
+  }
+  state.counters["kernel_mflops"] = double(flops) / 1e6;
+  state.SetItemsProcessed(state.iterations() * t.nnz() * t.order());
+}
+
+void BM_KernelZipf3DCoo(benchmark::State& state) {
+  runKernel(state, zipf3d(), sparkle::LocalKernel::kCoo);
+}
+void BM_KernelZipf3DCsf(benchmark::State& state) {
+  runKernel(state, zipf3d(), sparkle::LocalKernel::kCsf);
+}
+void BM_KernelZipf4DCoo(benchmark::State& state) {
+  runKernel(state, zipf4d(), sparkle::LocalKernel::kCoo);
+}
+void BM_KernelZipf4DCsf(benchmark::State& state) {
+  runKernel(state, zipf4d(), sparkle::LocalKernel::kCsf);
+}
+BENCHMARK(BM_KernelZipf3DCoo);
+BENCHMARK(BM_KernelZipf3DCsf);
+BENCHMARK(BM_KernelZipf4DCoo);
+BENCHMARK(BM_KernelZipf4DCsf);
+
+// --- one-time layout construction (amortized across modes x iterations) ---
+
+void BM_CsfLayoutBuild3D(benchmark::State& state) {
+  const tensor::CooTensor& t = zipf3d();
+  double ms = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto layout = tensor::buildCsfLayout(t.nonzeros(), t.order());
+    benchmark::DoNotOptimize(layout);
+    ms = std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+             .count();
+  }
+  state.counters["layout_build_ms"] = ms;
+  state.SetItemsProcessed(state.iterations() * t.nnz());
+}
+BENCHMARK(BM_CsfLayoutBuild3D);
+
+// --- end-to-end CP-ALS with kernel selection (what --local-kernel does) ---
+
+void runCpAlsKernel(benchmark::State& state, sparkle::LocalKernel kind) {
+  const tensor::CooTensor& t = zipf3d();
+  double simSecPerIter = 0.0;
+  double shuffleOps = 0.0;
+  for (auto _ : state) {
+    sparkle::ClusterConfig cfg;
+    cfg.numNodes = 8;
+    cfg.coresPerNode = 4;
+    cfg.localKernel = kind;
+    sparkle::Context ctx(cfg, 0);
+    cstf_core::CpAlsOptions o;
+    o.rank = 4;
+    o.maxIterations = 2;
+    o.tolerance = 0.0;
+    o.backend = cstf_core::Backend::kCoo;
+    o.computeFit = false;
+    o.mttkrp.numPartitions = 32;
+    auto res = cstf_core::cpAls(ctx, t, o);
+    benchmark::DoNotOptimize(res);
+    simSecPerIter =
+        ctx.metrics().simTimeSec() / double(res.iterations.size());
+    shuffleOps = double(ctx.metrics().totals().shuffleOps);
+  }
+  state.counters["sim_sec_per_iter"] = simSecPerIter;
+  state.counters["shuffle_ops"] = shuffleOps;
+  state.SetItemsProcessed(state.iterations() * t.nnz() * 2);
+}
+void BM_CpAlsZipf3DCooKernel(benchmark::State& state) {
+  runCpAlsKernel(state, sparkle::LocalKernel::kCoo);
+}
+void BM_CpAlsZipf3DCsfKernel(benchmark::State& state) {
+  runCpAlsKernel(state, sparkle::LocalKernel::kCsf);
+}
+BENCHMARK(BM_CpAlsZipf3DCooKernel);
+BENCHMARK(BM_CpAlsZipf3DCsfKernel);
+
+}  // namespace
+
+// Custom main: peel off --metrics-out/--metrics-interval-ms (google
+// benchmark rejects flags it does not know), then run the suite under a
+// live-registry heartbeat so CI gets schema-validated ndjson artifacts.
+int main(int argc, char** argv) {
+  std::string metricsOut = []() {
+    const char* env = std::getenv("CSTF_METRICS_OUT");
+    return std::string(env ? env : "");
+  }();
+  int intervalMs = 100;
+  std::vector<char*> kept;
+  kept.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = value("--metrics-out")) {
+      metricsOut = v;
+    } else if (const char* v = value("--metrics-interval-ms")) {
+      intervalMs = std::atoi(v);
+    } else {
+      kept.push_back(argv[i]);
+    }
+  }
+  int keptArgc = static_cast<int>(kept.size());
+  benchmark::Initialize(&keptArgc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(keptArgc, kept.data())) {
+    return 1;
+  }
+
+  std::unique_ptr<cstf::Heartbeat> heartbeat;
+  if (!metricsOut.empty()) {
+    cstf::HeartbeatOptions opts;
+    opts.ndjsonPath = metricsOut;
+    opts.promPath = metricsOut + ".prom";
+    opts.intervalMs = intervalMs;
+    heartbeat = std::make_unique<cstf::Heartbeat>(
+        cstf::metrics::globalRegistry(), opts);
+    heartbeat->start();
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  if (heartbeat) heartbeat->stop();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,7 +5,9 @@
 
 #include "common/rng.hpp"
 #include "common/serde.hpp"
+#include "cstf/kernels/local_kernel.hpp"
 #include "cstf/records.hpp"
+#include "tensor/csf.hpp"
 #include "la/matrix.hpp"
 #include "la/row.hpp"
 #include "la/solve.hpp"
@@ -96,6 +98,51 @@ BENCHMARK(BM_ReferenceMttkrp)
     ->Args({10000, 2})
     ->Args({100000, 2})
     ->Args({100000, 8});
+
+// The per-partition local kernels behind mttkrpLocal, head to head on the
+// same nonzero list. The CSF variant reuses a prebuilt layout, matching
+// how cp_als amortizes the build across modes and iterations.
+void localKernelCase(benchmark::State& state, sparkle::LocalKernel kind) {
+  const auto nnz = static_cast<std::size_t>(state.range(0));
+  const auto rank = static_cast<std::size_t>(state.range(1));
+  auto t = tensor::generateZipf({2000, 2000, 2000}, nnz, 1.1, 3);
+  Pcg32 rng(4);
+  std::vector<la::Matrix> fs;
+  for (ModeId m = 0; m < 3; ++m) {
+    fs.push_back(la::Matrix::random(t.dim(m), rank, rng));
+  }
+  const tensor::CsfLayout layout =
+      tensor::buildCsfLayout(t.nonzeros(), t.order());
+  const auto* layoutPtr =
+      kind == sparkle::LocalKernel::kCsf ? &layout : nullptr;
+  const auto& kernel = cstf_core::localKernelFor(kind);
+  for (auto _ : state) {
+    for (ModeId mode = 0; mode < 3; ++mode) {
+      cstf_core::LocalKernelStats stats;
+      benchmark::DoNotOptimize(
+          kernel.compute(t.nonzeros(), layoutPtr, fs, mode, stats));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * t.nnz() * 3);
+}
+void BM_LocalKernelCoo(benchmark::State& state) {
+  localKernelCase(state, sparkle::LocalKernel::kCoo);
+}
+void BM_LocalKernelCsf(benchmark::State& state) {
+  localKernelCase(state, sparkle::LocalKernel::kCsf);
+}
+BENCHMARK(BM_LocalKernelCoo)->Args({100000, 4})->Args({100000, 16});
+BENCHMARK(BM_LocalKernelCsf)->Args({100000, 4})->Args({100000, 16});
+
+void BM_CsfLayoutBuild(benchmark::State& state) {
+  const auto nnz = static_cast<std::size_t>(state.range(0));
+  auto t = tensor::generateZipf({2000, 2000, 2000}, nnz, 1.1, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::buildCsfLayout(t.nonzeros(), t.order()));
+  }
+  state.SetItemsProcessed(state.iterations() * t.nnz());
+}
+BENCHMARK(BM_CsfLayoutBuild)->Arg(10000)->Arg(100000);
 
 void BM_KhatriRao(benchmark::State& state) {
   Pcg32 rng(5);

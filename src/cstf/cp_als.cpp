@@ -12,8 +12,10 @@
 #include "cstf/checkpoint.hpp"
 #include "cstf/dim_tree.hpp"
 #include "cstf/factors.hpp"
+#include "cstf/kernels/local_kernel.hpp"
 #include "cstf/mttkrp_bigtensor.hpp"
 #include "cstf/mttkrp_coo.hpp"
+#include "cstf/mttkrp_local.hpp"
 #include "cstf/mttkrp_qcoo.hpp"
 #include "cstf/skew.hpp"
 #include "la/normalize.hpp"
@@ -118,14 +120,37 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
   MttkrpOptions mttkrpOpts = opts.mttkrp;
   const sparkle::SkewPolicy skewPolicy = effectiveSkewPolicy(ctx, mttkrpOpts);
   result.report.skewPolicy = sparkle::skewPolicyName(skewPolicy);
-  if (skewPolicy != sparkle::SkewPolicy::kHash &&
+
+  // Local-kernel selection: the CSF kernel swaps the distributed backends'
+  // join chains for the broadcast + partition-local formulation
+  // (mttkrp_local.hpp); the default COO kernel keeps every historical
+  // path byte-for-byte. Sequential backends have no map-side tasks.
+  const sparkle::LocalKernel localKernel =
+      effectiveLocalKernel(ctx, mttkrpOpts);
+  result.report.localKernel = sparkle::localKernelName(localKernel);
+  const bool useLocalPath =
+      localKernel == sparkle::LocalKernel::kCsf &&
+      (opts.backend == Backend::kCoo || opts.backend == Backend::kQcoo ||
+       opts.backend == Backend::kBigtensor);
+  LocalMttkrpTelemetry localTel;
+  if (useLocalPath) {
+    // Build the per-partition CSF layouts once, before iteration 1; every
+    // mode update of every iteration reuses them from the artifact store.
+    sparkle::ScopedStage scope(ctx.metrics(), "CsfLayout");
+    ensureCsfLayouts(ctx, Xrdd, order, &localTel);
+  }
+
+  // The local path replaces the key-based joins, so the skew census would
+  // be dead weight there; its reduceByKey skew handling is the hash
+  // partitioner's job either way.
+  if (!useLocalPath && skewPolicy != sparkle::SkewPolicy::kHash &&
       mttkrpOpts.skewPlan == nullptr &&
       (opts.backend == Backend::kCoo || opts.backend == Backend::kQcoo)) {
     mttkrpOpts.skewPlan = buildSkewPlan(ctx, Xrdd, order, mttkrpOpts);
   }
 
   std::optional<QcooEngine> qcoo;
-  if (opts.backend == Backend::kQcoo) {
+  if (opts.backend == Backend::kQcoo && !useLocalPath) {
     qcoo.emplace(ctx, Xrdd, dims, result.factors, mttkrpOpts);
   }
 
@@ -231,26 +256,31 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
           {
             sparkle::ScopedStage scope(ctx.metrics(),
                                        strprintf("MTTKRP-%d", int(n) + 1));
-            switch (opts.backend) {
-              case Backend::kCoo:
-                m = mttkrpCoo(ctx, Xrdd, dims, result.factors, n,
-                              mttkrpOpts);
-                break;
-              case Backend::kQcoo:
-                CSTF_ASSERT(qcoo->nextMode() == n,
-                            "QCOO mode schedule broken");
-                m = qcoo->mttkrpNext(result.factors);
-                break;
-              case Backend::kBigtensor:
-                m = mttkrpBigtensor(ctx, Xrdd, dims, result.factors, n,
-                                    mttkrpOpts);
-                break;
-              case Backend::kReference:
-                m = tensor::referenceMttkrp(X, result.factors, n);
-                break;
-              case Backend::kDimTree:
-                CSTF_ASSERT(false, "handled above");
-                break;
+            if (useLocalPath) {
+              m = mttkrpLocal(ctx, Xrdd, dims, result.factors, n,
+                              mttkrpOpts, &localTel);
+            } else {
+              switch (opts.backend) {
+                case Backend::kCoo:
+                  m = mttkrpCoo(ctx, Xrdd, dims, result.factors, n,
+                                mttkrpOpts);
+                  break;
+                case Backend::kQcoo:
+                  CSTF_ASSERT(qcoo->nextMode() == n,
+                              "QCOO mode schedule broken");
+                  m = qcoo->mttkrpNext(result.factors);
+                  break;
+                case Backend::kBigtensor:
+                  m = mttkrpBigtensor(ctx, Xrdd, dims, result.factors, n,
+                                      mttkrpOpts);
+                  break;
+                case Backend::kReference:
+                  m = tensor::referenceMttkrp(X, result.factors, n);
+                  break;
+                case Backend::kDimTree:
+                  CSTF_ASSERT(false, "handled above");
+                  break;
+              }
             }
           }
           applyUpdate(n, std::move(m));
@@ -340,6 +370,11 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
   result.finalFit = prevFit;
   result.report.converged = result.converged;
   result.report.finalFit = result.finalFit;
+  result.report.localKernelWallSec = localTel.kernelWallSec;
+  result.report.localKernelInvocations = localTel.kernelInvocations;
+  result.report.layoutBuildWallSec = localTel.layoutBuildWallSec;
+  result.report.layoutBuildPartitions = localTel.layoutBuildPartitions;
+  result.report.layoutBytes = localTel.layoutBytes;
   finalizeRunReport(ctx.metrics(), result.report);
   return result;
 }

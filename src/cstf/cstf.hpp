@@ -11,8 +11,10 @@
 #include "cstf/cp_als.hpp"         // IWYU pragma: export
 #include "cstf/dim_tree.hpp"       // IWYU pragma: export
 #include "cstf/factors.hpp"        // IWYU pragma: export
+#include "cstf/kernels/local_kernel.hpp" // IWYU pragma: export
 #include "cstf/mttkrp_bigtensor.hpp" // IWYU pragma: export
 #include "cstf/mttkrp_coo.hpp"     // IWYU pragma: export
+#include "cstf/mttkrp_local.hpp"   // IWYU pragma: export
 #include "cstf/mttkrp_qcoo.hpp"    // IWYU pragma: export
 #include "cstf/options.hpp"        // IWYU pragma: export
 #include "cstf/records.hpp"        // IWYU pragma: export

@@ -1,0 +1,23 @@
+#include "cstf/kernels/local_kernel.hpp"
+
+namespace cstf::cstf_core {
+
+// Defined in coo_kernel.cpp / csf_kernel.cpp.
+const LocalMttkrpKernel& cooLocalKernel();
+const LocalMttkrpKernel& csfLocalKernel();
+
+const LocalMttkrpKernel& localKernelFor(sparkle::LocalKernel kind) {
+  switch (kind) {
+    case sparkle::LocalKernel::kCoo: return cooLocalKernel();
+    case sparkle::LocalKernel::kCsf: return csfLocalKernel();
+  }
+  CSTF_CHECK(false, "unknown local kernel");
+  return cooLocalKernel();
+}
+
+sparkle::LocalKernel effectiveLocalKernel(const sparkle::Context& ctx,
+                                          const MttkrpOptions& opts) {
+  return opts.localKernel.value_or(ctx.config().localKernel);
+}
+
+}  // namespace cstf::cstf_core

@@ -1,0 +1,161 @@
+#include "cstf/mttkrp_local.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/metrics_registry.hpp"
+#include "cstf/factors.hpp"
+
+namespace cstf::cstf_core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t nanosSince(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+void ensureCsfLayouts(sparkle::Context& ctx,
+                      const sparkle::Rdd<tensor::Nonzero>& X, ModeId order,
+                      LocalMttkrpTelemetry* telemetry) {
+  const std::uint64_t dsId = X.datasetId();
+  const std::size_t parts = X.numPartitions();
+  bool allPresent = true;
+  for (std::size_t p = 0; p < parts && allPresent; ++p) {
+    allPresent = ctx.getPartitionArtifact(dsId, p) != nullptr;
+  }
+  if (allPresent) return;
+
+  const auto t0 = Clock::now();
+  sparkle::Context* ctxp = &ctx;
+  auto built = X.mapPartitionsWithCounters(
+      [dsId, order, ctxp](std::size_t p,
+                          const std::vector<tensor::Nonzero>& part,
+                          TaskCounters& tc) {
+        auto layout = std::make_shared<const tensor::CsfLayout>(
+            tensor::buildCsfLayout(part, order));
+        // First-write-wins: a retried task recomputes the (deterministic)
+        // layout and adopts whichever copy is already resident.
+        auto resident = ctxp->putPartitionArtifact(dsId, p, layout);
+        const auto* l = static_cast<const tensor::CsfLayout*>(resident.get());
+        // Sort-dominated build: one comparison sort of the partition per
+        // mode, each comparison a handful of index compares.
+        const double n = static_cast<double>(part.size());
+        tc.flops += static_cast<std::uint64_t>(
+            n > 1.0 ? static_cast<double>(order) * n * std::log2(n) : 0.0);
+        return std::vector<std::pair<std::uint32_t, std::uint64_t>>{
+            {static_cast<std::uint32_t>(p),
+             static_cast<std::uint64_t>(l->memoryBytes())}};
+      },
+      /*preservesPartitioning=*/true);
+  const auto sizes = built.collect("csf-layout-build");
+
+  std::uint64_t bytes = 0;
+  for (const auto& [p, b] : sizes) bytes += b;
+  const double wallSec = static_cast<double>(nanosSince(t0)) * 1e-9;
+  if (telemetry != nullptr) {
+    telemetry->layoutBuildWallSec += wallSec;
+    telemetry->layoutBuildPartitions += sizes.size();
+    telemetry->layoutBytes += bytes;
+  }
+  metrics::Registry& live = metrics::globalRegistry();
+  live.counter("cstf_csf_layout_builds_total").add(sizes.size());
+  live.counter("cstf_csf_layout_bytes_total").add(bytes);
+  live.histogram("cstf_csf_layout_build_sec").record(wallSec);
+}
+
+la::Matrix mttkrpLocal(sparkle::Context& ctx,
+                       const sparkle::Rdd<tensor::Nonzero>& X,
+                       const std::vector<Index>& dims,
+                       const std::vector<la::Matrix>& factors, ModeId mode,
+                       const MttkrpOptions& opts,
+                       LocalMttkrpTelemetry* telemetry) {
+  const ModeId order = static_cast<ModeId>(dims.size());
+  CSTF_CHECK(order >= 2, "MTTKRP needs order >= 2");
+  CSTF_CHECK(mode < order, "mode out of range");
+  CSTF_CHECK(factors.size() == order, "need one factor per mode");
+
+  std::size_t rank = 0;
+  for (ModeId m = 0; m < order; ++m) {
+    if (m != mode) {
+      rank = factors[m].cols();
+      break;
+    }
+  }
+  CSTF_CHECK(rank > 0, "rank must be positive");
+
+  const sparkle::LocalKernel kind = effectiveLocalKernel(ctx, opts);
+  const LocalMttkrpKernel& kernel = localKernelFor(kind);
+  if (kind == sparkle::LocalKernel::kCsf) {
+    ensureCsfLayouts(ctx, X, order, telemetry);
+  }
+
+  FactorPack pack;
+  pack.factors = factors;
+  // The kernel never reads the target mode; ship N-1 matrices, as a real
+  // cluster would.
+  pack.factors[mode] = la::Matrix();
+  auto bc = sparkle::broadcast(ctx, std::move(pack), "mttkrp-factors");
+
+  auto wallNanos = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto flopsTotal = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto invocations = std::make_shared<std::atomic<std::uint64_t>>(0);
+  const std::uint64_t dsId = X.datasetId();
+  sparkle::Context* ctxp = &ctx;
+  const LocalMttkrpKernel* kernelp = &kernel;
+  auto partials = X.mapPartitionsWithCounters(
+      [=](std::size_t p, const std::vector<tensor::Nonzero>& part,
+          TaskCounters& tc) {
+        std::shared_ptr<const void> hold;
+        const tensor::CsfLayout* layout = nullptr;
+        if (kind == sparkle::LocalKernel::kCsf) {
+          hold = ctxp->getPartitionArtifact(dsId, p);
+          layout = static_cast<const tensor::CsfLayout*>(hold.get());
+        }
+        LocalKernelStats stats;
+        const auto t0 = Clock::now();
+        auto rows =
+            kernelp->compute(part, layout, bc.value().factors, mode, stats);
+        wallNanos->fetch_add(nanosSince(t0), std::memory_order_relaxed);
+        flopsTotal->fetch_add(stats.flops, std::memory_order_relaxed);
+        invocations->fetch_add(1, std::memory_order_relaxed);
+        tc.flops += stats.flops;
+        tc.recordsEmitted += stats.outputRows;
+        return rows;
+      },
+      /*preservesPartitioning=*/false);
+
+  auto reduced = partials.reduceByKey(
+      [](const la::Row& a, const la::Row& b) { return la::rowAdd(a, b); },
+      ctx.hashPartitioner(opts.numPartitions), opts.mapSideCombine,
+      static_cast<double>(rank), "local-reduceByKey");
+  la::Matrix result = rowsToMatrix(reduced.collect("local-mttkrp-result"),
+                                   dims[mode], rank);
+
+  const double kernelSec =
+      static_cast<double>(wallNanos->load(std::memory_order_relaxed)) * 1e-9;
+  if (telemetry != nullptr) {
+    telemetry->kernelWallSec += kernelSec;
+    telemetry->kernelInvocations +=
+        invocations->load(std::memory_order_relaxed);
+    telemetry->kernelFlops += flopsTotal->load(std::memory_order_relaxed);
+  }
+  metrics::Registry& live = metrics::globalRegistry();
+  const metrics::Labels labels = {{"kernel", kernel.name()}};
+  live.counter("cstf_local_kernel_invocations_total", labels)
+      .add(invocations->load(std::memory_order_relaxed));
+  live.counter("cstf_local_kernel_flops_total", labels)
+      .add(flopsTotal->load(std::memory_order_relaxed));
+  live.histogram("cstf_local_kernel_sec", labels).record(kernelSec);
+  return result;
+}
+
+}  // namespace cstf::cstf_core

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "sparkle/local_kernel.hpp"
 #include "sparkle/partitioner.hpp"
 
 namespace cstf::cstf_core {
@@ -71,6 +72,13 @@ struct MttkrpOptions {
   /// driver builds and caches this before iteration 1; backends called
   /// standalone with a skew policy and no plan build their own.
   std::shared_ptr<const SkewPlan> skewPlan;
+
+  /// Per-partition compute kernel for the map-side MTTKRP work. Unset
+  /// falls back to ClusterConfig::localKernel (whose default, kCoo, keeps
+  /// every backend's historical join/shuffle path byte-for-byte). kCsf
+  /// switches the distributed backends to the broadcast + partition-local
+  /// kernel formulation over the cache-time CSF layout.
+  std::optional<sparkle::LocalKernel> localKernel;
 };
 
 }  // namespace cstf::cstf_core

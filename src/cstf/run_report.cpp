@@ -98,6 +98,12 @@ std::string RunReport::toJson() const {
   w.kv("schema", "cstf-run-report-v1");
   w.kv("backend", backend);
   w.kv("skewPolicy", skewPolicy);
+  w.kv("localKernel", localKernel);
+  w.kv("localKernelWallSec", localKernelWallSec);
+  w.kv("localKernelInvocations", std::uint64_t{localKernelInvocations});
+  w.kv("layoutBuildWallSec", layoutBuildWallSec);
+  w.kv("layoutBuildPartitions", std::uint64_t{layoutBuildPartitions});
+  w.kv("layoutBytes", std::uint64_t{layoutBytes});
   w.kv("rank", std::uint64_t{rank});
   w.key("dims");
   w.beginArray();

@@ -96,6 +96,18 @@ struct RunReport {
   std::string backend;
   /// Active MTTKRP shuffle skew policy ("hash", "frequency", "replicate").
   std::string skewPolicy;
+  /// Active per-partition compute kernel ("coo", "csf").
+  std::string localKernel;
+  /// Host wall seconds spent inside local-kernel compute() calls, and how
+  /// many partition-kernel invocations they cover (0/0 on the join-chain
+  /// path, which has no discrete kernel).
+  double localKernelWallSec = 0.0;
+  std::uint64_t localKernelInvocations = 0;
+  /// One-time CSF layout construction: host wall seconds, partitions
+  /// built, and resident layout bytes (all 0 for the COO kernel).
+  double layoutBuildWallSec = 0.0;
+  std::uint64_t layoutBuildPartitions = 0;
+  std::uint64_t layoutBytes = 0;
   std::size_t rank = 0;
   std::vector<Index> dims;
   std::size_t nnz = 0;

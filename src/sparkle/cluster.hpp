@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "sparkle/local_kernel.hpp"
 #include "sparkle/partitioner.hpp"
 
 namespace cstf::sparkle {
@@ -149,6 +150,11 @@ struct ClusterConfig {
   /// operations (see SkewPolicy). kHash preserves the engine's historical
   /// behaviour exactly; callers (e.g. MttkrpOptions) may override per-op.
   SkewPolicy skewPolicy = SkewPolicy::kHash;
+
+  /// Cluster-wide default for the per-partition MTTKRP compute kernel
+  /// (see LocalKernel). kCoo preserves the historical row-at-a-time path
+  /// byte-for-byte; callers (e.g. MttkrpOptions) may override per-op.
+  LocalKernel localKernel = LocalKernel::kCoo;
 
   ExecutionMode mode = ExecutionMode::kSpark;
 

@@ -4,9 +4,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <unordered_set>
+#include <utility>
 
 #include "common/buffer_pool.hpp"
 #include "common/log.hpp"
@@ -96,6 +98,38 @@ class Context {
   /// dataset.hpp (needs the complete DatasetBase type).
   std::size_t evictCachedBlocksOnNode(int node);
 
+  /// Cache-time partition artifacts: auxiliary per-partition structures a
+  /// task derives from a cached dataset's block (e.g. a compressed-fiber
+  /// tensor layout) and reuses across stages/iterations — the executor-side
+  /// sibling of a cached block. Keyed by (dataset id, partition). Stores are
+  /// first-write-wins: task retries recompute the artifact from scratch, and
+  /// the copy already resident stays authoritative, keeping task bodies
+  /// idempotent under fault injection. The returned pointer is always the
+  /// resident artifact. Lifetime follows the dataset: DatasetBase's
+  /// destructor drops its artifacts alongside its registry entry.
+  std::shared_ptr<const void> putPartitionArtifact(
+      std::uint64_t datasetId, std::size_t partition,
+      std::shared_ptr<const void> value) {
+    std::lock_guard<std::mutex> lock(artifactsMutex_);
+    auto [it, inserted] =
+        artifacts_.try_emplace({datasetId, partition}, std::move(value));
+    return it->second;
+  }
+  std::shared_ptr<const void> getPartitionArtifact(
+      std::uint64_t datasetId, std::size_t partition) const {
+    std::lock_guard<std::mutex> lock(artifactsMutex_);
+    auto it = artifacts_.find({datasetId, partition});
+    return it != artifacts_.end() ? it->second : nullptr;
+  }
+  std::size_t dropPartitionArtifacts(std::uint64_t datasetId) {
+    std::lock_guard<std::mutex> lock(artifactsMutex_);
+    auto lo = artifacts_.lower_bound({datasetId, 0});
+    auto hi = artifacts_.lower_bound({datasetId + 1, 0});
+    const auto n = static_cast<std::size_t>(std::distance(lo, hi));
+    artifacts_.erase(lo, hi);
+    return n;
+  }
+
   /// Straggler watchdog fed by every task this context runs. Flags fire a
   /// live log warning, a trace instant, and `sparkle_straggler_tasks_total`.
   /// The heartbeat's check callback should call straggler().checkNow() to
@@ -171,6 +205,9 @@ class Context {
   std::atomic<std::uint64_t> nextDatasetId_{1};
   mutable std::mutex datasetsMutex_;
   std::unordered_set<DatasetBase*> datasets_;
+  mutable std::mutex artifactsMutex_;
+  std::map<std::pair<std::uint64_t, std::size_t>, std::shared_ptr<const void>>
+      artifacts_;
 };
 
 }  // namespace cstf::sparkle

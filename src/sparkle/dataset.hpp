@@ -124,7 +124,10 @@ class DatasetBase {
     CSTF_ASSERT(numPartitions > 0, "dataset needs >= 1 partition");
     ctx_->registerDataset(this);
   }
-  virtual ~DatasetBase() { ctx_->unregisterDataset(this); }
+  virtual ~DatasetBase() {
+    ctx_->dropPartitionArtifacts(id_);
+    ctx_->unregisterDataset(this);
+  }
 
   DatasetBase(const DatasetBase&) = delete;
   DatasetBase& operator=(const DatasetBase&) = delete;
@@ -602,6 +605,42 @@ class MapPartitionsWithIndexDataset final : public Dataset<Out> {
   Block<Out> computePartition(std::size_t p, TaskContext& tc) override {
     Block<In> in = parent_->partition(p, tc);
     std::vector<Out> out = f_(p, *in);
+    tc.counters.recordsProcessed += in->size();
+    return makeBlock(std::move(out));
+  }
+
+ private:
+  std::shared_ptr<Dataset<In>> parent_;
+  F f_;
+};
+
+/// mapPartitionsWithCounters: f(partitionIndex, const std::vector<In>&,
+/// TaskCounters&) -> std::vector<Out>. Like mapPartitionsWithIndex, but the
+/// body also charges work (flops, emitted records) directly to the task's
+/// counters — for partition-local kernels whose cost is not a simple
+/// function of input size. recordsProcessed is still metered here.
+template <typename In, typename Out, typename F>
+class MapPartitionsWithCountersDataset final : public Dataset<Out> {
+ public:
+  MapPartitionsWithCountersDataset(Context* ctx,
+                                   std::shared_ptr<Dataset<In>> parent, F f,
+                                   bool preservesPartitioning)
+      : Dataset<Out>(ctx, parent->numPartitions()),
+        parent_(std::move(parent)),
+        f_(std::move(f)) {
+    if (preservesPartitioning) {
+      this->setOutputPartitioning(parent_->outputPartitioning());
+    }
+  }
+
+  std::string opName() const override { return "mapPartitionsWithCounters"; }
+  std::vector<const DatasetBase*> parents() const override { return {parent_.get()}; }
+  void ensureReady() override { parent_->ensureReady(); }
+
+ protected:
+  Block<Out> computePartition(std::size_t p, TaskContext& tc) override {
+    Block<In> in = parent_->partition(p, tc);
+    std::vector<Out> out = f_(p, *in, tc.counters);
     tc.counters.recordsProcessed += in->size();
     return makeBlock(std::move(out));
   }

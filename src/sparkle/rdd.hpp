@@ -60,6 +60,9 @@ class Rdd {
 
   Context* context() const { return ctx_; }
   const std::shared_ptr<Dataset<T>>& dataset() const { return ds_; }
+  /// Stable id of the underlying dataset — the key for cache-time
+  /// partition artifacts (Context::putPartitionArtifact and friends).
+  std::uint64_t datasetId() const { return ds_->id(); }
   std::size_t numPartitions() const { return ds_->numPartitions(); }
   std::shared_ptr<Partitioner> partitioning() const {
     return ds_->outputPartitioning();
@@ -138,6 +141,22 @@ class Rdd {
   Rdd<Out> mapPartitionsWithIndex(F f,
                                   bool preservesPartitioning = false) const {
     auto ds = std::make_shared<MapPartitionsWithIndexDataset<T, Out, F>>(
+        ctx_, ds_, std::move(f), preservesPartitioning);
+    return Rdd<Out>(ctx_, std::move(ds));
+  }
+
+  /// f: (partitionIndex, const std::vector<T>&, TaskCounters&) ->
+  /// std::vector<Out>. The body meters its own work (flops, emitted
+  /// records) against the task's counters — for partition-local kernels
+  /// whose cost is not proportional to input size.
+  template <typename F,
+            typename C = std::invoke_result_t<F, std::size_t,
+                                              const std::vector<T>&,
+                                              TaskCounters&>,
+            typename Out = typename C::value_type>
+  Rdd<Out> mapPartitionsWithCounters(
+      F f, bool preservesPartitioning = false) const {
+    auto ds = std::make_shared<MapPartitionsWithCountersDataset<T, Out, F>>(
         ctx_, ds_, std::move(f), preservesPartitioning);
     return Rdd<Out>(ctx_, std::move(ds));
   }

@@ -1,0 +1,106 @@
+#include "tensor/csf.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace cstf::tensor {
+
+namespace {
+template <typename T>
+std::size_t vectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+}  // namespace
+
+std::size_t CsfModeView::memoryBytes() const {
+  return vectorBytes(fixedModes) + vectorBytes(sliceIdx) +
+         vectorBytes(slicePtr) + vectorBytes(fiberPtr) +
+         vectorBytes(fiberOuter) + vectorBytes(innerIdx) + vectorBytes(vals);
+}
+
+std::size_t CsfLayout::memoryBytes() const {
+  std::size_t total = 0;
+  for (const CsfModeView& v : modes) total += v.memoryBytes();
+  return total;
+}
+
+CsfLayout buildCsfLayout(const std::vector<Nonzero>& nonzeros, ModeId order) {
+  CSTF_CHECK(order >= 2 && order <= kMaxOrder,
+             "csf: order must be in [2, kMaxOrder]");
+  CSTF_CHECK(nonzeros.size() <
+                 static_cast<std::size_t>(
+                     std::numeric_limits<std::uint32_t>::max()),
+             "csf: partition too large for 32-bit offsets");
+  for (const Nonzero& nz : nonzeros) {
+    CSTF_CHECK(nz.order == order, "csf: mixed-order nonzeros");
+  }
+
+  CsfLayout layout;
+  layout.order = order;
+  layout.nnz = nonzeros.size();
+  layout.modes.resize(order);
+
+  std::vector<std::uint32_t> perm(nonzeros.size());
+  for (ModeId mode = 0; mode < order; ++mode) {
+    CsfModeView& v = layout.modes[mode];
+    v.mode = mode;
+    for (ModeId m = 0; m < order; ++m) {
+      if (m != mode) v.fixedModes.push_back(m);
+    }
+    const ModeId inner = v.fixedModes.back();
+    const std::size_t numOuter = v.fixedModes.size() - 1;
+
+    std::iota(perm.begin(), perm.end(), 0u);
+    std::sort(perm.begin(), perm.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const Nonzero& x = nonzeros[a];
+                const Nonzero& y = nonzeros[b];
+                if (x.idx[mode] != y.idx[mode]) {
+                  return x.idx[mode] < y.idx[mode];
+                }
+                for (std::size_t o = 0; o < numOuter; ++o) {
+                  const ModeId m = v.fixedModes[o];
+                  if (x.idx[m] != y.idx[m]) return x.idx[m] < y.idx[m];
+                }
+                if (x.idx[inner] != y.idx[inner]) {
+                  return x.idx[inner] < y.idx[inner];
+                }
+                // Duplicates keep input order so the layout (and the
+                // accumulation order downstream) is deterministic.
+                return a < b;
+              });
+
+    v.innerIdx.reserve(nonzeros.size());
+    v.vals.reserve(nonzeros.size());
+    const Nonzero* prev = nullptr;
+    for (std::uint32_t pi : perm) {
+      const Nonzero& nz = nonzeros[pi];
+      bool newSlice = prev == nullptr || prev->idx[mode] != nz.idx[mode];
+      bool newFiber = newSlice;
+      for (std::size_t o = 0; o < numOuter && !newFiber; ++o) {
+        const ModeId m = v.fixedModes[o];
+        newFiber = prev->idx[m] != nz.idx[m];
+      }
+      if (newFiber) {
+        v.fiberPtr.push_back(static_cast<std::uint32_t>(v.vals.size()));
+        for (std::size_t o = 0; o < numOuter; ++o) {
+          v.fiberOuter.push_back(nz.idx[v.fixedModes[o]]);
+        }
+      }
+      if (newSlice) {
+        v.slicePtr.push_back(
+            static_cast<std::uint32_t>(v.fiberPtr.size() - 1));
+        v.sliceIdx.push_back(nz.idx[mode]);
+      }
+      v.innerIdx.push_back(nz.idx[inner]);
+      v.vals.push_back(nz.val);
+      prev = &nz;
+    }
+    v.slicePtr.push_back(static_cast<std::uint32_t>(v.fiberPtr.size()));
+    v.fiberPtr.push_back(static_cast<std::uint32_t>(v.vals.size()));
+  }
+  return layout;
+}
+
+}  // namespace cstf::tensor

@@ -1,0 +1,73 @@
+// Compressed-sparse-fiber (CSF-like) per-partition tensor layout.
+//
+// For each target mode n the nonzeros are sorted by (idx[n], outer fixed
+// indices, inner fixed index) and compressed into slices (distinct idx[n])
+// of fibers (runs sharing every fixed index but the innermost). The
+// innermost fixed index and the values land in contiguous SoA arrays, so an
+// MTTKRP kernel streams each fiber with an R-wide inner loop:
+//
+//   acc(:)   = sum_e  vals[e] * F_inner(innerIdx[e], :)   -- per fiber
+//   out(i,:) += (hadamard of outer fixed rows) .* acc(:)  -- per fiber
+//
+// For order 3 this is exactly DFacTo's two-SpMV formulation of MTTKRP
+// (the fiber pass is one SpMV against the inner factor, the slice pass a
+// row-scaled combine with the outer factor); for order 2 there is no outer
+// level and the layout degenerates to plain CSR/SpMV. Built once per
+// cached partition and reused across all modes and iterations — the build
+// cost is the price of admission, which is why it is metered separately.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+
+namespace cstf::tensor {
+
+/// The compressed view of one partition's nonzeros for one target mode.
+struct CsfModeView {
+  ModeId mode = 0;
+  /// The non-target modes, ascending; the last one is the innermost level
+  /// (its indices are in `innerIdx`), the rest key fibers via `fiberOuter`.
+  std::vector<ModeId> fixedModes;
+
+  /// Distinct idx[mode] values present, ascending.
+  std::vector<Index> sliceIdx;
+  /// sliceIdx.size()+1 offsets into the fiber arrays.
+  std::vector<std::uint32_t> slicePtr;
+  /// numFibers()+1 offsets into the entry arrays.
+  std::vector<std::uint32_t> fiberPtr;
+  /// numFibers() * (order-2) outer fixed indices, row-major per fiber in
+  /// ascending-mode order; empty for order 2.
+  std::vector<Index> fiberOuter;
+  /// Per entry: the innermost fixed mode's index, fiber-contiguous.
+  std::vector<Index> innerIdx;
+  /// Per entry: the nonzero's value (duplicates kept as distinct entries).
+  std::vector<Value> vals;
+
+  std::size_t numSlices() const { return sliceIdx.size(); }
+  std::size_t numFibers() const {
+    return fiberPtr.empty() ? 0 : fiberPtr.size() - 1;
+  }
+  std::size_t numEntries() const { return vals.size(); }
+  std::size_t memoryBytes() const;
+};
+
+/// One CsfModeView per mode of the tensor, sharing the same nonzero set.
+struct CsfLayout {
+  ModeId order = 0;
+  std::size_t nnz = 0;
+  std::vector<CsfModeView> modes;
+
+  const CsfModeView& view(ModeId mode) const { return modes.at(mode); }
+  std::size_t memoryBytes() const;
+};
+
+/// Build the full per-mode layout for one partition's nonzeros. Every
+/// nonzero must have the given order. Duplicate multi-indices are legal
+/// and stay distinct entries within their fiber (accumulation merges
+/// them, matching COO semantics).
+CsfLayout buildCsfLayout(const std::vector<Nonzero>& nonzeros, ModeId order);
+
+}  // namespace cstf::tensor

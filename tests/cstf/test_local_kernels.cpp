@@ -1,0 +1,337 @@
+// Local MTTKRP kernels (coo/csf) and the broadcast + partition-local path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cstf/cstf.hpp"
+#include "tensor/csf.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/reference_ops.hpp"
+
+namespace cstf::cstf_core {
+namespace {
+
+sparkle::ClusterConfig testCluster(int nodes = 4) {
+  sparkle::ClusterConfig cfg;
+  cfg.numNodes = nodes;
+  cfg.coresPerNode = 2;
+  return cfg;
+}
+
+la::Matrix rowsToDense(const std::vector<std::pair<Index, la::Row>>& rows,
+                       std::size_t numRows, std::size_t rank) {
+  return rowsToMatrix(rows, numRows, rank);
+}
+
+la::Matrix runKernel(sparkle::LocalKernel kind, const tensor::CooTensor& t,
+                     const std::vector<la::Matrix>& fs, ModeId mode,
+                     const tensor::CsfLayout* layout = nullptr) {
+  LocalKernelStats stats;
+  auto rows = localKernelFor(kind).compute(t.nonzeros(), layout, fs, mode,
+                                           stats);
+  return rowsToDense(rows, t.dim(mode), fs[mode == 0 ? 1 : 0].cols());
+}
+
+TEST(CsfLayout, StructureInvariants) {
+  auto t = tensor::generateZipf({40, 30, 20}, 600, 1.1, 7);
+  auto layout = tensor::buildCsfLayout(t.nonzeros(), t.order());
+  EXPECT_EQ(layout.order, 3);
+  EXPECT_EQ(layout.nnz, t.nnz());
+  ASSERT_EQ(layout.modes.size(), 3u);
+  for (ModeId m = 0; m < 3; ++m) {
+    const tensor::CsfModeView& v = layout.view(m);
+    EXPECT_EQ(v.mode, m);
+    ASSERT_EQ(v.fixedModes.size(), 2u);
+    EXPECT_EQ(v.numEntries(), t.nnz());
+    EXPECT_EQ(v.slicePtr.size(), v.numSlices() + 1);
+    EXPECT_EQ(v.fiberPtr.size(), v.numFibers() + 1);
+    EXPECT_EQ(v.fiberOuter.size(), v.numFibers());  // order 3: 1 outer mode
+    EXPECT_EQ(v.slicePtr.front(), 0u);
+    EXPECT_EQ(v.slicePtr.back(), v.numFibers());
+    EXPECT_EQ(v.fiberPtr.front(), 0u);
+    EXPECT_EQ(v.fiberPtr.back(), v.numEntries());
+    // Slices ascend; fibers within a slice ascend by outer index; entries
+    // within a fiber ascend by inner index.
+    for (std::size_t s = 1; s < v.numSlices(); ++s) {
+      EXPECT_LT(v.sliceIdx[s - 1], v.sliceIdx[s]);
+    }
+    for (std::size_t s = 0; s < v.numSlices(); ++s) {
+      for (std::uint32_t f = v.slicePtr[s] + 1; f < v.slicePtr[s + 1]; ++f) {
+        EXPECT_LT(v.fiberOuter[f - 1], v.fiberOuter[f]);
+      }
+    }
+    EXPECT_GT(v.memoryBytes(), 0u);
+  }
+}
+
+TEST(CsfLayout, EmptyPartition) {
+  auto layout = tensor::buildCsfLayout({}, 3);
+  EXPECT_EQ(layout.nnz, 0u);
+  for (const auto& v : layout.modes) {
+    EXPECT_EQ(v.numSlices(), 0u);
+    EXPECT_EQ(v.numFibers(), 0u);
+    EXPECT_EQ(v.numEntries(), 0u);
+  }
+}
+
+TEST(LocalKernels, CooKernelBitIdenticalToReference) {
+  // The COO kernel mirrors referenceMttkrp's arithmetic exactly: same
+  // ascending-mode Hadamard order, same per-row accumulation order.
+  auto t = tensor::generateZipf({25, 30, 15}, 400, 1.1, 11);
+  auto fs = randomFactors(t.dims(), 3, 5);
+  for (ModeId mode = 0; mode < t.order(); ++mode) {
+    la::Matrix got = runKernel(sparkle::LocalKernel::kCoo, t, fs, mode);
+    la::Matrix ref = tensor::referenceMttkrp(t, fs, mode);
+    EXPECT_EQ(got.maxAbsDiff(ref), 0.0) << "mode " << int(mode);
+  }
+}
+
+TEST(LocalKernels, CsfMatchesCooWithinTolerance) {
+  auto t = tensor::generateZipf({25, 30, 15}, 500, 1.2, 12);
+  auto fs = randomFactors(t.dims(), 2, 6);
+  auto layout = tensor::buildCsfLayout(t.nonzeros(), t.order());
+  for (ModeId mode = 0; mode < t.order(); ++mode) {
+    la::Matrix coo = runKernel(sparkle::LocalKernel::kCoo, t, fs, mode);
+    la::Matrix csf =
+        runKernel(sparkle::LocalKernel::kCsf, t, fs, mode, &layout);
+    EXPECT_LT(csf.maxAbsDiff(coo), 1e-13) << "mode " << int(mode);
+  }
+}
+
+TEST(LocalKernels, CsfBuildsTransientLayoutWhenNull) {
+  auto t = tensor::generateZipf({12, 10, 14}, 150, 1.0, 13);
+  auto fs = randomFactors(t.dims(), 2, 7);
+  auto layout = tensor::buildCsfLayout(t.nonzeros(), t.order());
+  for (ModeId mode = 0; mode < t.order(); ++mode) {
+    la::Matrix withLayout =
+        runKernel(sparkle::LocalKernel::kCsf, t, fs, mode, &layout);
+    la::Matrix without =
+        runKernel(sparkle::LocalKernel::kCsf, t, fs, mode, nullptr);
+    EXPECT_EQ(withLayout.maxAbsDiff(without), 0.0);
+  }
+}
+
+TEST(LocalKernels, StatsAreReported) {
+  auto t = tensor::generateZipf({20, 20, 20}, 300, 1.1, 14);
+  auto fs = randomFactors(t.dims(), 2, 8);
+  LocalKernelStats coo, csf;
+  localKernelFor(sparkle::LocalKernel::kCoo)
+      .compute(t.nonzeros(), nullptr, fs, 0, coo);
+  localKernelFor(sparkle::LocalKernel::kCsf)
+      .compute(t.nonzeros(), nullptr, fs, 0, csf);
+  EXPECT_EQ(coo.entriesProcessed, t.nnz());
+  EXPECT_EQ(csf.entriesProcessed, t.nnz());
+  EXPECT_EQ(coo.outputRows, csf.outputRows);
+  EXPECT_GT(coo.flops, 0u);
+  EXPECT_GT(csf.flops, 0u);
+  // The CSF formulation does strictly less arithmetic per nonzero.
+  EXPECT_LT(csf.flops, coo.flops);
+}
+
+TEST(MttkrpLocal, MatchesReferenceBothKernels) {
+  for (auto kind :
+       {sparkle::LocalKernel::kCoo, sparkle::LocalKernel::kCsf}) {
+    sparkle::Context ctx(testCluster(), 2);
+    auto t = tensor::generateRandom({{30, 40, 20}, 500, {}, 42});
+    auto fs = randomFactors(t.dims(), 2, 1);
+    auto X = tensorToRdd(ctx, t).cache();
+    MttkrpOptions opts;
+    opts.localKernel = kind;
+    for (ModeId mode = 0; mode < 3; ++mode) {
+      la::Matrix got = mttkrpLocal(ctx, X, t.dims(), fs, mode, opts);
+      la::Matrix ref = tensor::referenceMttkrp(t, fs, mode);
+      EXPECT_LT(got.maxAbsDiff(ref), 1e-10)
+          << sparkle::localKernelName(kind) << " mode " << int(mode);
+    }
+  }
+}
+
+TEST(MttkrpLocal, MatchesMttkrpCoo4Order) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{15, 12, 18, 6}, 400, {}, 43});
+  auto fs = randomFactors(t.dims(), 3, 2);
+  auto X = tensorToRdd(ctx, t).cache();
+  MttkrpOptions opts;
+  opts.localKernel = sparkle::LocalKernel::kCsf;
+  for (ModeId mode = 0; mode < 4; ++mode) {
+    la::Matrix local = mttkrpLocal(ctx, X, t.dims(), fs, mode, opts);
+    la::Matrix chain = mttkrpCoo(ctx, X, t.dims(), fs, mode, {});
+    EXPECT_LT(local.maxAbsDiff(chain), 1e-12) << "mode " << int(mode);
+  }
+}
+
+TEST(MttkrpLocal, SingleShuffleAndBroadcast) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{20, 20, 20}, 300, {}, 44});
+  auto fs = randomFactors(t.dims(), 2, 3);
+  auto X = tensorToRdd(ctx, t).cache();
+  MttkrpOptions opts;
+  opts.localKernel = sparkle::LocalKernel::kCsf;
+  mttkrpLocal(ctx, X, t.dims(), fs, 0, opts);
+  // One reduceByKey is the only wide op (vs N for the COO join chain).
+  EXPECT_EQ(ctx.metrics().totals().shuffleOps, 1u);
+  EXPECT_GT(ctx.metrics().totals().broadcastBytes, 0u);
+}
+
+TEST(MttkrpLocal, LayoutBuiltOnceAndReused) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{25, 25, 25}, 400, {}, 45});
+  auto fs = randomFactors(t.dims(), 2, 4);
+  auto X = tensorToRdd(ctx, t).cache();
+
+  LocalMttkrpTelemetry tel;
+  ensureCsfLayouts(ctx, X, t.order(), &tel);
+  EXPECT_EQ(tel.layoutBuildPartitions, X.numPartitions());
+  EXPECT_GT(tel.layoutBytes, 0u);
+  const std::size_t stagesAfterBuild = ctx.metrics().stageCount();
+
+  // Second call is a no-op: every partition already has its artifact.
+  ensureCsfLayouts(ctx, X, t.order(), &tel);
+  EXPECT_EQ(ctx.metrics().stageCount(), stagesAfterBuild);
+  EXPECT_EQ(tel.layoutBuildPartitions, X.numPartitions());
+
+  // All three mode updates reuse the same resident layouts.
+  const auto before = ctx.getPartitionArtifact(X.datasetId(), 0);
+  ASSERT_NE(before, nullptr);
+  MttkrpOptions opts;
+  opts.localKernel = sparkle::LocalKernel::kCsf;
+  for (ModeId mode = 0; mode < 3; ++mode) {
+    mttkrpLocal(ctx, X, t.dims(), fs, mode, opts, &tel);
+  }
+  EXPECT_EQ(ctx.getPartitionArtifact(X.datasetId(), 0).get(), before.get());
+  EXPECT_EQ(tel.kernelInvocations, 3 * X.numPartitions());
+  EXPECT_GT(tel.kernelFlops, 0u);
+}
+
+TEST(MttkrpLocal, ArtifactsDroppedWithDataset) {
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{10, 10, 10}, 100, {}, 46});
+  std::uint64_t dsId = 0;
+  {
+    auto X = tensorToRdd(ctx, t).cache();
+    dsId = X.datasetId();
+    ensureCsfLayouts(ctx, X, t.order());
+    EXPECT_NE(ctx.getPartitionArtifact(dsId, 0), nullptr);
+  }
+  // The dataset is gone; its layouts must not leak in the context store.
+  EXPECT_EQ(ctx.getPartitionArtifact(dsId, 0), nullptr);
+}
+
+TEST(MttkrpLocal, ArtifactStoreFirstWriteWinsUnderContention) {
+  // TSan coverage: hammer the partition-artifact store from many threads;
+  // every thread must observe the same resident pointer per slot.
+  sparkle::Context ctx(testCluster(), 2);
+  constexpr int kThreads = 8;
+  constexpr std::size_t kSlots = 16;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&ctx, &mismatches] {
+      for (std::size_t p = 0; p < kSlots; ++p) {
+        auto mine = std::make_shared<const tensor::CsfLayout>();
+        auto resident = ctx.putPartitionArtifact(999, p, mine);
+        auto seen = ctx.getPartitionArtifact(999, p);
+        if (seen.get() != resident.get()) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(ctx.dropPartitionArtifacts(999), kSlots);
+}
+
+TEST(CpAls, CsfTrajectoryMatchesCooKernel) {
+  // Acceptance: --local-kernel csf reproduces the coo-kernel factor
+  // trajectory within 1e-15 of the factor magnitudes on both distributed
+  // backends (the kernels differ only in accumulation order).
+  for (auto backend : {Backend::kCoo, Backend::kQcoo}) {
+    auto t = tensor::generateZipf({20, 18, 16}, 300, 1.1, 21);
+    CpAlsResult results[2];
+    int i = 0;
+    for (auto kernel :
+         {sparkle::LocalKernel::kCoo, sparkle::LocalKernel::kCsf}) {
+      sparkle::Context ctx(testCluster(), 2);
+      CpAlsOptions opts;
+      opts.rank = 2;
+      opts.maxIterations = 3;
+      opts.tolerance = 0.0;
+      opts.seed = 9;
+      opts.backend = backend;
+      opts.mttkrp.localKernel = kernel;
+      results[i++] = cpAls(ctx, t, opts);
+    }
+    for (ModeId m = 0; m < t.order(); ++m) {
+      EXPECT_LT(results[0].factors[m].maxAbsDiff(results[1].factors[m]),
+                1e-12)
+          << backendName(backend) << " mode " << int(m);
+    }
+    for (std::size_t r = 0; r < results[0].lambda.size(); ++r) {
+      EXPECT_NEAR(results[0].lambda[r], results[1].lambda[r], 1e-12);
+    }
+    EXPECT_EQ(results[1].report.localKernel, "csf");
+    EXPECT_GT(results[1].report.localKernelInvocations, 0u);
+    EXPECT_GT(results[1].report.layoutBuildPartitions, 0u);
+  }
+}
+
+TEST(CpAls, CsfTrajectoryMatchesBigtensorBackend) {
+  auto t = tensor::generateZipf({15, 15, 15}, 200, 1.0, 22);
+  CpAlsResult results[2];
+  int i = 0;
+  for (auto kernel :
+       {sparkle::LocalKernel::kCoo, sparkle::LocalKernel::kCsf}) {
+    sparkle::ClusterConfig cfg = testCluster();
+    cfg.mode = sparkle::ExecutionMode::kHadoop;
+    sparkle::Context ctx(cfg, 2);
+    CpAlsOptions opts;
+    opts.rank = 2;
+    opts.maxIterations = 2;
+    opts.tolerance = 0.0;
+    opts.seed = 10;
+    opts.backend = Backend::kBigtensor;
+    opts.mttkrp.localKernel = kernel;
+    results[i++] = cpAls(ctx, t, opts);
+  }
+  for (ModeId m = 0; m < t.order(); ++m) {
+    EXPECT_LT(results[0].factors[m].maxAbsDiff(results[1].factors[m]),
+              1e-12)
+        << "mode " << int(m);
+  }
+}
+
+TEST(CpAls, DefaultKernelKeepsJoinChainPath) {
+  // The default (coo) kernel must leave the historical path untouched:
+  // same stages, no broadcast, no local-kernel work in the report.
+  sparkle::Context ctx(testCluster(), 2);
+  auto t = tensor::generateRandom({{15, 15, 15}, 200, {}, 47});
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.maxIterations = 1;
+  opts.backend = Backend::kCoo;
+  auto result = cpAls(ctx, t, opts);
+  EXPECT_EQ(result.report.localKernel, "coo");
+  EXPECT_EQ(result.report.localKernelInvocations, 0u);
+  EXPECT_EQ(result.report.layoutBuildPartitions, 0u);
+  // The COO join chain shuffles N times per mode update (Table 4).
+  EXPECT_EQ(ctx.metrics().totals().shuffleOps, 9u);
+  bool sawLocalReduce = false;
+  for (const auto& s : ctx.metrics().stages()) {
+    if (s.label == "local-reduceByKey" || s.label == "csf-layout-build") {
+      sawLocalReduce = true;
+    }
+  }
+  EXPECT_FALSE(sawLocalReduce);
+}
+
+TEST(LocalKernelNames, RoundTripAndErrors) {
+  EXPECT_STREQ(sparkle::localKernelName(sparkle::LocalKernel::kCoo), "coo");
+  EXPECT_STREQ(sparkle::localKernelName(sparkle::LocalKernel::kCsf), "csf");
+  EXPECT_EQ(sparkle::localKernelFromName("coo"), sparkle::LocalKernel::kCoo);
+  EXPECT_EQ(sparkle::localKernelFromName("csf"), sparkle::LocalKernel::kCsf);
+  EXPECT_THROW(sparkle::localKernelFromName("simd"), Error);
+}
+
+}  // namespace
+}  // namespace cstf::cstf_core

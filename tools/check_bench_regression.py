@@ -6,6 +6,13 @@ Usage:
       --current BENCH_micro_engine.json [--threshold 25] [--normalize] \
       [--counters p99_us:lower,qps:higher]
 
+--baseline accepts several paths, newest (last) first: the first readable,
+parseable file wins and the rest are ignored, so a retention-pruned or
+corrupted newest baseline degrades to the previous one with a warning
+instead of failing the whole gate (same newest-first tolerance the
+checkpoint loader applies). Only when every candidate is unreadable does
+the check error out.
+
 Benchmarks are matched by name (intersection of the two files); real_time is
 compared in nanoseconds. A benchmark regresses when
 
@@ -92,8 +99,10 @@ def fmt_ns(ns):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", required=True,
-                    help="committed baseline JSON (google-benchmark format)")
+    ap.add_argument("--baseline", required=True, nargs="+",
+                    help="committed baseline JSON(s) (google-benchmark "
+                         "format); several paths are tried newest (last) "
+                         "first and the first readable one wins")
     ap.add_argument("--current", required=True,
                     help="freshly produced JSON to check")
     ap.add_argument("--threshold", type=float, default=25.0,
@@ -108,10 +117,26 @@ def main():
 
     try:
         directions = parse_counters(args.counters)
-        base = load_benchmarks(args.baseline, directions)
         cur = load_benchmarks(args.current, directions)
     except (OSError, json.JSONDecodeError, ValueError) as e:
         print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    # Newest-first baseline resolution: try the candidates back to front
+    # (CI passes them oldest..newest) and settle on the first that loads.
+    base = None
+    for path in reversed(args.baseline):
+        try:
+            base = load_benchmarks(path, directions)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: baseline '{path}' unreadable ({e}), "
+                  f"falling back to the previous one", file=sys.stderr)
+            continue
+        print(f"baseline: {path}")
+        break
+    if base is None:
+        print("error: no readable baseline among: "
+              + ", ".join(args.baseline), file=sys.stderr)
         return 1
 
     shared = sorted(set(base) & set(cur))
@@ -144,8 +169,18 @@ def main():
         rows.append((n, fmt_ns(base[n]["real_time"]),
                      fmt_ns(cur[n]["real_time"]), ratios[n]))
         for c, direction in sorted(directions.items()):
-            if c not in base[n]["counters"] or c not in cur[n]["counters"]:
-                continue
+            in_base = c in base[n]["counters"]
+            in_cur = c in cur[n]["counters"]
+            if not in_base and not in_cur:
+                continue  # counter doesn't apply to this benchmark
+            if in_base != in_cur:
+                # One-sided counters used to be skipped silently, hiding a
+                # stale baseline behind an "OK" verdict.
+                side = "baseline" if not in_base else "current run"
+                print(f"error: counter '{c}' on benchmark '{n}' is missing "
+                      f"from the {side} (regenerate the baseline?)",
+                      file=sys.stderr)
+                return 1
             bv = base[n]["counters"][c]
             cv = cur[n]["counters"][c]
             if bv <= 0 or cv <= 0:

@@ -17,6 +17,9 @@
 //   --backend B     coo | qcoo | bigtensor | reference (default qcoo)
 //   --skew-policy P hash | frequency | replicate MTTKRP shuffle skew
 //                   mitigation (default hash)
+//   --local-kernel K coo | csf per-partition MTTKRP compute kernel
+//                   (default coo; csf uses the cache-time compressed-fiber
+//                   layout and the broadcast + local-kernel formulation)
 //   --nodes N       simulated cluster size (default 8)
 //   --seed S        factor initialization seed (default 7)
 //   --scale X       scale for analog datasets (default 0.2)
@@ -99,6 +102,7 @@ int usage() {
                "       cstf factor <tensor> [--rank R] [--iters N] [--tol T]\n"
                "                   [--backend coo|qcoo|bigtensor|reference]\n"
                "                   [--skew-policy hash|frequency|replicate]\n"
+               "                   [--local-kernel coo|csf]\n"
                "                   [--nodes N] [--seed S] [--scale X]\n"
                "                   [--output PREFIX] [--trace-out P]\n"
                "                   [--report-out P] [--metrics-csv P]\n"
@@ -138,6 +142,7 @@ struct Args {
   double tol = 1e-6;
   std::string backend = "qcoo";
   std::string skewPolicy = "hash";
+  std::string localKernel = "coo";
   int nodes = 8;
   std::uint64_t seed = 7;
   double scale = 0.2;
@@ -202,6 +207,10 @@ bool parseArgs(int argc, char** argv, Args& a) {
       const char* v = next("--skew-policy");
       if (!v) return false;
       a.skewPolicy = v;
+    } else if (arg == "--local-kernel") {
+      const char* v = next("--local-kernel");
+      if (!v) return false;
+      a.localKernel = v;
     } else if (arg == "--nodes") {
       const char* v = next("--nodes");
       if (!v) return false;
@@ -383,6 +392,7 @@ int cmdFactor(const Args& a, const std::string& spec) {
   sparkle::ClusterConfig cluster;
   cluster.numNodes = a.nodes;
   cluster.skewPolicy = sparkle::skewPolicyFromName(a.skewPolicy);
+  cluster.localKernel = sparkle::localKernelFromName(a.localKernel);
   cluster.taskFailureRate = a.taskFailureRate;
   cluster.faults.nodeLossRate = a.nodeLossRate;
   cluster.faults.seed = a.faultSeed;
@@ -433,9 +443,9 @@ int cmdFactor(const Args& a, const std::string& spec) {
   opts.resume = a.resume;
 
   std::printf("\nCP-ALS: rank %zu, backend %s, skew policy %s, "
-              "%d simulated nodes\n",
+              "local kernel %s, %d simulated nodes\n",
               a.rank, cstf_core::backendName(backend),
-              a.skewPolicy.c_str(), a.nodes);
+              a.skewPolicy.c_str(), a.localKernel.c_str(), a.nodes);
   cstf_core::CpAlsResult result;
   try {
     result = cstf_core::cpAls(ctx, t, opts);
@@ -447,6 +457,7 @@ int cmdFactor(const Args& a, const std::string& spec) {
     cstf_core::RunReport report;
     report.backend = cstf_core::backendName(backend);
     report.skewPolicy = a.skewPolicy;
+    report.localKernel = a.localKernel;
     report.rank = a.rank;
     report.dims = t.dims();
     report.nnz = t.nnz();
