@@ -31,6 +31,7 @@
 
 #include "common/heartbeat.hpp"
 #include "common/metrics_registry.hpp"
+#include "common/parse.hpp"
 #include "cstf/cstf.hpp"
 #include "sparkle/sparkle.hpp"
 #include "tensor/csf.hpp"
@@ -181,7 +182,9 @@ int main(int argc, char** argv) {
     if (const char* v = value("--metrics-out")) {
       metricsOut = v;
     } else if (const char* v = value("--metrics-interval-ms")) {
-      intervalMs = std::atoi(v);
+      if (!cstf::parseFlag("--metrics-interval-ms", v, intervalMs, 1)) {
+        std::exit(2);
+      }
     } else {
       kept.push_back(argv[i]);
     }

@@ -1,0 +1,142 @@
+// Sketched-solver ablation (google-benchmark): exact CP-ALS vs the
+// leverage-score sketched solver (cstf/sketch.hpp) on the same Zipf 3-D
+// tensor, cluster, and schedule.
+//
+// The CI bench-smoke leg gates this suite against
+// bench/baselines/bench_ablation_sketch.json and additionally asserts
+// that BM_CpAlsZipf3DSketched clears >= 2x BM_CpAlsZipf3DExact on
+// sim_sec_per_iter with a final fit within 0.01 (the sketched solver's
+// reason to exist: same factors for a fraction of the cluster time).
+//
+// Headline counters:
+//   sim_sec_per_iter   — modeled cluster seconds per CP-ALS iteration
+//   shuffle_ops        — wide stages per run
+//   final_fit          — fit at the last (exact-cadence) iteration
+//
+// Like bench_ablation_kernels this binary is google-benchmark based and
+// accepts --metrics-out P [--metrics-interval-ms N] for cstf-metrics-v1
+// heartbeat snapshots (cstf_sketch_* counters) — tools/validate_metrics.py
+// gates the ndjson in CI.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/heartbeat.hpp"
+#include "common/metrics_registry.hpp"
+#include "common/parse.hpp"
+#include "cstf/cstf.hpp"
+#include "sparkle/sparkle.hpp"
+#include "tensor/generator.hpp"
+
+namespace {
+
+using namespace cstf;
+
+const tensor::CooTensor& zipf3d() {
+  // Same tensor as the local-kernel ablation: skewed enough that leverage
+  // scores are far from uniform, large enough that 32k draws are a real
+  // reduction (~3x fewer shuffled records per mode).
+  static const tensor::CooTensor t =
+      tensor::generateZipf({500, 500, 500}, 100000, 1.1, 4242);
+  return t;
+}
+
+void runCpAlsSolver(benchmark::State& state, cstf_core::Solver solver) {
+  const tensor::CooTensor& t = zipf3d();
+  double simSecPerIter = 0.0;
+  double shuffleOps = 0.0;
+  double finalFit = 0.0;
+  for (auto _ : state) {
+    sparkle::ClusterConfig cfg;
+    cfg.numNodes = 8;
+    cfg.coresPerNode = 4;
+    sparkle::Context ctx(cfg, 0);
+    cstf_core::CpAlsOptions o;
+    o.rank = 4;
+    o.maxIterations = 4;
+    o.tolerance = 0.0;
+    o.backend = cstf_core::Backend::kCoo;
+    o.computeFit = true;
+    o.solver = solver;
+    o.sketch.samples = 32768;
+    o.sketch.exactFitEvery = 2;
+    o.mttkrp.numPartitions = 32;
+    auto res = cstf_core::cpAls(ctx, t, o);
+    benchmark::DoNotOptimize(res);
+    simSecPerIter =
+        ctx.metrics().simTimeSec() / double(res.iterations.size());
+    shuffleOps = double(ctx.metrics().totals().shuffleOps);
+    finalFit = res.finalFit;
+  }
+  state.counters["sim_sec_per_iter"] = simSecPerIter;
+  state.counters["shuffle_ops"] = shuffleOps;
+  state.counters["final_fit"] = finalFit;
+  state.SetItemsProcessed(state.iterations() * t.nnz() * 4);
+}
+void BM_CpAlsZipf3DExact(benchmark::State& state) {
+  runCpAlsSolver(state, cstf_core::Solver::kExact);
+}
+void BM_CpAlsZipf3DSketched(benchmark::State& state) {
+  runCpAlsSolver(state, cstf_core::Solver::kSketched);
+}
+BENCHMARK(BM_CpAlsZipf3DExact);
+BENCHMARK(BM_CpAlsZipf3DSketched);
+
+}  // namespace
+
+// Custom main: peel off --metrics-out/--metrics-interval-ms (google
+// benchmark rejects flags it does not know), then run the suite under a
+// live-registry heartbeat so CI gets schema-validated ndjson artifacts.
+int main(int argc, char** argv) {
+  std::string metricsOut = []() {
+    const char* env = std::getenv("CSTF_METRICS_OUT");
+    return std::string(env ? env : "");
+  }();
+  int intervalMs = 100;
+  std::vector<char*> kept;
+  kept.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = value("--metrics-out")) {
+      metricsOut = v;
+    } else if (const char* v = value("--metrics-interval-ms")) {
+      if (!cstf::parseFlag("--metrics-interval-ms", v, intervalMs, 1)) {
+        std::exit(2);
+      }
+    } else {
+      kept.push_back(argv[i]);
+    }
+  }
+  int keptArgc = static_cast<int>(kept.size());
+  benchmark::Initialize(&keptArgc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(keptArgc, kept.data())) {
+    return 1;
+  }
+
+  std::unique_ptr<cstf::Heartbeat> heartbeat;
+  if (!metricsOut.empty()) {
+    cstf::HeartbeatOptions opts;
+    opts.ndjsonPath = metricsOut;
+    opts.promPath = metricsOut + ".prom";
+    opts.intervalMs = intervalMs;
+    heartbeat = std::make_unique<cstf::Heartbeat>(
+        cstf::metrics::globalRegistry(), opts);
+    heartbeat->start();
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  if (heartbeat) heartbeat->stop();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "common/artifacts.hpp"
 #include "common/metrics_registry.hpp"
+#include "common/parse.hpp"
 #include "common/strings.hpp"
 #include "common/trace.hpp"
 
@@ -61,7 +62,10 @@ void initBenchArgs(int argc, char** argv) {
       continue;
     }
     if (take("--metrics-interval-ms", interval)) {
-      g_metricsIntervalMs = std::atoi(interval.c_str());
+      if (!parseFlag("--metrics-interval-ms", interval.c_str(),
+                     g_metricsIntervalMs, 1)) {
+        std::exit(2);
+      }
       continue;
     }
     std::fprintf(stderr,
@@ -122,16 +126,18 @@ void RunArtifacts::write(const cstf_core::RunReport* report) {
 
 double benchScale() {
   if (const char* s = std::getenv("CSTF_BENCH_SCALE")) {
-    const double v = std::atof(s);
-    if (v > 0.0) return v;
+    double v = 0.0;
+    if (!parseFlag("CSTF_BENCH_SCALE", s, v) || v <= 0.0) std::exit(2);
+    return v;
   }
   return 0.2;
 }
 
 int benchIterations() {
   if (const char* s = std::getenv("CSTF_BENCH_ITERS")) {
-    const int v = std::atoi(s);
-    if (v >= 1) return v;
+    int v = 0;
+    if (!parseFlag("CSTF_BENCH_ITERS", s, v, 1)) std::exit(2);
+    return v;
   }
   return 3;
 }

@@ -17,6 +17,7 @@
 #include "cstf/mttkrp_coo.hpp"
 #include "cstf/mttkrp_local.hpp"
 #include "cstf/mttkrp_qcoo.hpp"
+#include "cstf/sketch.hpp"
 #include "cstf/skew.hpp"
 #include "la/normalize.hpp"
 #include "la/solve.hpp"
@@ -57,7 +58,30 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
   result.factors = randomFactors(dims, opts.rank, opts.seed);
   result.lambda.assign(opts.rank, 1.0);
 
+  // Sketched solver: leverage-score–sampled MTTKRPs over the distributed
+  // backends; exact fits only on the exact-fit-cadence iterations. The
+  // sequential oracles (reference/dimtree) have no sampled formulation.
+  const bool sketchedSolver = opts.solver == Solver::kSketched;
+  if (sketchedSolver) {
+    CSTF_CHECK(opts.backend == Backend::kCoo ||
+                   opts.backend == Backend::kQcoo ||
+                   opts.backend == Backend::kBigtensor,
+               "sketched solver requires a distributed backend "
+               "(coo/qcoo/bigtensor)");
+    CSTF_CHECK(opts.sketch.samples >= 1, "sketch samples must be >= 1");
+    CSTF_CHECK(opts.sketch.exactFitEvery >= 1,
+               "sketch exact-fit cadence must be >= 1");
+  }
+  SketchTelemetry sketchTel;
+  double lastEpsilon = std::numeric_limits<double>::quiet_NaN();
+
   result.report.backend = backendName(opts.backend);
+  result.report.solver = solverName(opts.solver);
+  if (sketchedSolver) {
+    result.report.sketchSamples = opts.sketch.samples;
+    result.report.sketchSeed = opts.sketch.seed;
+    result.report.sketchExactFitEvery = opts.sketch.exactFitEvery;
+  }
   result.report.rank = opts.rank;
   result.report.dims = dims;
   result.report.nnz = X.nnz();
@@ -128,8 +152,12 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
   const sparkle::LocalKernel localKernel =
       effectiveLocalKernel(ctx, mttkrpOpts);
   result.report.localKernel = sparkle::localKernelName(localKernel);
+  // The sketched solver has its own dispatch (sampled stages plus
+  // mttkrpLocal for the exact-fit iterations, which ensures CSF layouts
+  // lazily on first use), so the upfront layout build and the engine
+  // constructions below are exact-solver concerns.
   const bool useLocalPath =
-      localKernel == sparkle::LocalKernel::kCsf &&
+      !sketchedSolver && localKernel == sparkle::LocalKernel::kCsf &&
       (opts.backend == Backend::kCoo || opts.backend == Backend::kQcoo ||
        opts.backend == Backend::kBigtensor);
   LocalMttkrpTelemetry localTel;
@@ -143,18 +171,19 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
   // The local path replaces the key-based joins, so the skew census would
   // be dead weight there; its reduceByKey skew handling is the hash
   // partitioner's job either way.
-  if (!useLocalPath && skewPolicy != sparkle::SkewPolicy::kHash &&
+  if (!useLocalPath && !sketchedSolver &&
+      skewPolicy != sparkle::SkewPolicy::kHash &&
       mttkrpOpts.skewPlan == nullptr &&
       (opts.backend == Backend::kCoo || opts.backend == Backend::kQcoo)) {
     mttkrpOpts.skewPlan = buildSkewPlan(ctx, Xrdd, order, mttkrpOpts);
   }
 
   std::optional<QcooEngine> qcoo;
-  if (opts.backend == Backend::kQcoo && !useLocalPath) {
+  if (opts.backend == Backend::kQcoo && !useLocalPath && !sketchedSolver) {
     qcoo.emplace(ctx, Xrdd, dims, result.factors, mttkrpOpts);
   }
 
-  const double xNormSq = X.norm() * X.norm();
+  const double xNormSq = X.normSq();
   // NaN until iteration 1 completes: the first iteration has no previous
   // fit, so its fitDelta is explicitly undefined (serialized as null). A
   // resumed run instead starts from the checkpointed fit, so convergence
@@ -170,6 +199,7 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
   metrics::Counter& liveIterations = live.counter("cstf_iterations_total");
   metrics::AtomicHistogram& liveIterSim =
       live.histogram("cstf_iteration_sim_sec");
+  metrics::Gauge& liveSketchEpsilon = live.gauge("cstf_sketch_epsilon");
 
   for (int iter = startIter; iter <= opts.maxIterations; ++iter) {
     const double simBefore = ctx.metrics().simTimeSec();
@@ -177,6 +207,15 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
     TraceSpan iterSpan(ctx.trace(), strprintf("iteration-%d", iter),
                        "cp-als");
     la::Matrix lastMttkrp;
+    // Exact-fit cadence: on the exact solver every fit iteration is exact;
+    // the sketched solver runs the full last-mode MTTKRP (and so a true
+    // fit) only every exactFitEvery-th iteration plus the final one.
+    const bool fitThisIter =
+        opts.computeFit &&
+        (!sketchedSolver || iter % opts.sketch.exactFitEvery == 0 ||
+         iter == opts.maxIterations);
+    const std::uint64_t iterSketchBase = sketchTel.sampledNnz;
+    double iterEpsilon = std::numeric_limits<double>::quiet_NaN();
 
     // Per-mode telemetry: registry-totals deltas between mode boundaries,
     // so the entries decompose the engine work of the iteration exactly.
@@ -256,7 +295,45 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
           {
             sparkle::ScopedStage scope(ctx.metrics(),
                                        strprintf("MTTKRP-%d", int(n) + 1));
-            if (useLocalPath) {
+            if (sketchedSolver) {
+              // One deterministic draw id per sketched call of the run, so
+              // iterations resample independently and a resumed run draws
+              // exactly what the uninterrupted one would have.
+              const std::uint64_t drawId =
+                  std::uint64_t(iter) * order + n;
+              if (fitThisIter && n + 1 == order) {
+                // The SPLATT fit trick needs the exact last-mode MTTKRP;
+                // run it through the broadcast + local-kernel path (no
+                // join chain or engine needed).
+                m = mttkrpLocal(ctx, Xrdd, dims, result.factors, n,
+                                mttkrpOpts, &localTel);
+                if (opts.sketch.measureEpsilon) {
+                  // Estimator-quality probe: what the sketch would have
+                  // produced for this same update, against ground truth.
+                  const la::Matrix sk = mttkrpSketched(
+                      ctx, Xrdd, dims, result.factors, grams, n, mttkrpOpts,
+                      opts.sketch, drawId, &sketchTel);
+                  double num = 0.0;
+                  double den = 0.0;
+                  for (std::size_t i = 0; i < m.rows(); ++i) {
+                    for (std::size_t r = 0; r < m.cols(); ++r) {
+                      const double d = sk(i, r) - m(i, r);
+                      num += d * d;
+                      den += m(i, r) * m(i, r);
+                    }
+                  }
+                  iterEpsilon = den > 0.0
+                                    ? std::sqrt(num / den)
+                                    : std::numeric_limits<
+                                          double>::quiet_NaN();
+                  lastEpsilon = iterEpsilon;
+                }
+              } else {
+                m = mttkrpSketched(ctx, Xrdd, dims, result.factors, grams,
+                                   n, mttkrpOpts, opts.sketch, drawId,
+                                   &sketchTel);
+              }
+            } else if (useLocalPath) {
               m = mttkrpLocal(ctx, Xrdd, dims, result.factors, n,
                               mttkrpOpts, &localTel);
             } else {
@@ -297,7 +374,7 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
                                       wallBefore)
             .count();
 
-    if (opts.computeFit) {
+    if (fitThisIter) {
       const double inner =
           innerProductFromMttkrp(lastMttkrp, result.factors[order - 1],
                                  result.lambda);
@@ -310,9 +387,18 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
       CSTF_LOG_DEBUG("cp-als[%s] iter %d fit=%.6f (delta %.2e) sim=%.3fs",
                      backendName(opts.backend), iter, stats.fit,
                      stats.fitDelta, stats.simTimeSec);
+    } else if (opts.computeFit) {
+      // Sketched iteration between exact-fit checkpoints: the last-mode
+      // MTTKRP is an estimate, so no honest fit exists. NaN serializes as
+      // null, and NaN comparisons keep the convergence check inert.
+      stats.fit = std::numeric_limits<double>::quiet_NaN();
+      stats.fitDelta = std::numeric_limits<double>::quiet_NaN();
     }
     iterTel.fit = stats.fit;
     iterTel.fitDelta = stats.fitDelta;
+    iterTel.fitExact = fitThisIter;
+    iterTel.sketchSampledNnz = sketchTel.sampledNnz - iterSketchBase;
+    iterTel.sketchEpsilon = iterEpsilon;
     iterTel.simTimeSec = stats.simTimeSec;
     iterTel.wallTimeSec = stats.wallTimeSec;
     double l2 = 0.0;
@@ -335,6 +421,7 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
     if (std::isfinite(stats.fit)) liveFit.set(stats.fit);
     // Iteration 1's delta is NaN by design; the gauge keeps its last value.
     if (std::isfinite(stats.fitDelta)) liveFitDelta.set(stats.fitDelta);
+    if (std::isfinite(iterEpsilon)) liveSketchEpsilon.set(iterEpsilon);
     if (opts.onIteration) opts.onIteration(stats);
 
     if (!opts.checkpointDir.empty() && opts.checkpointEvery > 0 &&
@@ -342,9 +429,12 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
       CpAlsCheckpoint ck;
       ck.seed = opts.seed;
       ck.iteration = iter;
-      // stats.fit is the prevFit the next iteration compares against; a
-      // resume restores exactly that comparison state.
-      ck.prevFit = stats.fit;
+      // The prevFit the next iteration compares against: stats.fit after
+      // an exact fit, else the running value (a sketched iteration's NaN
+      // must not clobber the last exact fit) — a resume restores exactly
+      // that comparison state.
+      ck.prevFit =
+          (fitThisIter || !opts.computeFit) ? stats.fit : prevFit;
       ck.rank = opts.rank;
       ck.dims = dims;
       ck.lambda = result.lambda;
@@ -364,7 +454,9 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
       prevFit = stats.fit;
       break;
     }
-    prevFit = stats.fit;
+    // Only exact fits advance the convergence state; sketched iterations
+    // carry NaN and must leave the last exact fit in place.
+    if (fitThisIter || !opts.computeFit) prevFit = stats.fit;
   }
 
   result.finalFit = prevFit;
@@ -375,6 +467,9 @@ CpAlsResult cpAls(sparkle::Context& ctx, const tensor::CooTensor& X,
   result.report.layoutBuildWallSec = localTel.layoutBuildWallSec;
   result.report.layoutBuildPartitions = localTel.layoutBuildPartitions;
   result.report.layoutBytes = localTel.layoutBytes;
+  result.report.sketchedMttkrps = sketchTel.sketchedMttkrps;
+  result.report.sketchSampledNnz = sketchTel.sampledNnz;
+  result.report.sketchEpsilon = lastEpsilon;
   finalizeRunReport(ctx.metrics(), result.report);
   return result;
 }

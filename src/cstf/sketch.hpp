@@ -1,0 +1,63 @@
+// Leverage-score sketched MTTKRP (CP-ARLS-LEV / STS-CP style).
+//
+// The exact MTTKRP for mode n costs O(nnz * R) and feeds O(nnz)-record
+// shuffles. The least-squares system each ALS step solves,
+//   min_A || X_(n) - A (khatri-rao of the other factors)^T ||_F,
+// can instead be formed from s << nnz rows sampled with probability
+// proportional to the Khatri-Rao design matrix's statistical leverage —
+// which factorizes: the leverage of KR row (i_1, .., i_{N-1}) is (up to
+// normalization) the product of the per-factor row scores
+//   lev_m(j) = a_j^T pinv(A_m^T A_m) a_j,
+// computable from the Gram matrices CP-ALS already keeps per iteration.
+//
+// This module scores nonzeros by the product of their non-target modes'
+// leverage, importance-samples s of them per mode update
+// (Rdd::weightedSampleWithReplacement: per-partition mixture sampling,
+// deterministic in the seed, unbiased with no global weight-sum stage),
+// folds each draw's importance scale into its value, and reuses the PR 7
+// broadcast + LocalMttkrpKernel + reduceByKey machinery over the sampled
+// subset — one wide stage per mode, shuffling O(s) records instead of
+// O(nnz).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cstf/mttkrp_local.hpp"
+#include "cstf/options.hpp"
+#include "la/matrix.hpp"
+#include "sparkle/context.hpp"
+#include "sparkle/rdd.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace cstf::cstf_core {
+
+/// Per-row leverage estimates of one factor: lev(i) = a_i^T pinv(G) a_i,
+/// clamped to [0, inf). G is the factor's Gram matrix (the CP-ALS cache).
+std::vector<double> leverageScores(const la::Matrix& factor,
+                                   const la::Matrix& gram);
+
+/// Host-side accounting of the sketched path, accumulated across mode
+/// updates and surfaced in the run report / live metrics.
+struct SketchTelemetry {
+  std::uint64_t sketchedMttkrps = 0;
+  /// Sampled records drawn across all sketched MTTKRPs (~samples each).
+  std::uint64_t sampledNnz = 0;
+};
+
+/// Sampled MTTKRP for `mode`: leverage-score weights from `grams`,
+/// `sketch.samples` draws seeded by (sketch.seed, drawId), then the
+/// broadcast + local-kernel + reduceByKey formulation over the sample.
+/// `drawId` must be distinct per sketched call of a run (the driver uses
+/// iteration * order + mode) so iterations resample independently while
+/// staying deterministic and resume-stable.
+la::Matrix mttkrpSketched(sparkle::Context& ctx,
+                          const sparkle::Rdd<tensor::Nonzero>& X,
+                          const std::vector<Index>& dims,
+                          const std::vector<la::Matrix>& factors,
+                          const std::vector<la::Matrix>& grams, ModeId mode,
+                          const MttkrpOptions& opts,
+                          const SketchOptions& sketch, std::uint64_t drawId,
+                          SketchTelemetry* telemetry = nullptr);
+
+}  // namespace cstf::cstf_core

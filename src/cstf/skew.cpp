@@ -17,9 +17,12 @@ std::shared_ptr<const SkewPlan> buildSkewPlan(
     sparkle::Context& ctx, const sparkle::Rdd<tensor::Nonzero>& X,
     ModeId order, const MttkrpOptions& opts) {
   CSTF_CHECK(order >= 1, "census needs at least one mode");
-  const double fraction =
-      std::min(1.0, std::max(0.0, opts.censusSampleFraction));
-  CSTF_CHECK(fraction > 0.0, "censusSampleFraction must be positive");
+  // Validate the raw knob: a clamp-then-check would report a negative
+  // value as "must be positive" and silently truncate values above 1.
+  const double fraction = opts.censusSampleFraction;
+  CSTF_CHECK(fraction > 0.0 && fraction <= 1.0,
+             "censusSampleFraction must be in (0, 1], got " +
+                 std::to_string(fraction));
   sparkle::ScopedStage scope(ctx.metrics(), "SkewCensus");
 
   // One shuffle counts every mode: key each (sampled) nonzero by

@@ -58,11 +58,13 @@ double CooTensor::density() const {
   return cells > 0.0 ? static_cast<double>(nnz()) / cells : 0.0;
 }
 
-double CooTensor::norm() const {
+double CooTensor::normSq() const {
   double s = 0.0;
   for (const Nonzero& nz : nonzeros_) s += nz.val * nz.val;
-  return std::sqrt(s);
+  return s;
 }
+
+double CooTensor::norm() const { return std::sqrt(normSq()); }
 
 namespace {
 bool lexLess(const Nonzero& a, const Nonzero& b) {

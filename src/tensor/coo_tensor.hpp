@@ -81,6 +81,8 @@ class CooTensor {
   double density() const;
   /// Frobenius norm of the tensor: sqrt(sum of squared nonzero values).
   double norm() const;
+  /// Squared Frobenius norm, computed directly (no sqrt-then-square).
+  double normSq() const;
 
   /// Sum over duplicate coordinates and drop explicit zeros (canonical
   /// form; sorts nonzeros lexicographically).

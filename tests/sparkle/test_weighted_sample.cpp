@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "sparkle/sparkle.hpp"
+
+namespace cstf::sparkle {
+namespace {
+
+ClusterConfig smallCluster() {
+  ClusterConfig cfg;
+  cfg.numNodes = 4;
+  cfg.coresPerNode = 2;
+  return cfg;
+}
+
+std::vector<double> values(int n) {
+  std::vector<double> v(n);
+  for (int i = 0; i < n; ++i) v[i] = 0.5 + double(i % 17);
+  return v;
+}
+
+TEST(WeightedSample, DrawsExactlyTheRequestedBudget) {
+  Context ctx(smallCluster(), 2);
+  auto rdd = parallelize(ctx, values(200), 8);
+  auto out = rdd.weightedSampleWithReplacement([](double v) { return v; },
+                                               123, 42)
+                 .collect();
+  EXPECT_EQ(out.size(), 123u);
+}
+
+TEST(WeightedSample, DeterministicInTheSeed) {
+  Context ctx(smallCluster(), 2);
+  auto rdd = parallelize(ctx, values(300), 8);
+  auto weight = [](double v) { return v; };
+  auto a = rdd.weightedSampleWithReplacement(weight, 64, 7, 0.1).collect();
+  auto b = rdd.weightedSampleWithReplacement(weight, 64, 7, 0.1).collect();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first) << i;
+    EXPECT_EQ(a[i].second, b[i].second) << i;
+  }
+  auto c = rdd.weightedSampleWithReplacement(weight, 64, 8, 0.1).collect();
+  bool anyDiff = false;
+  for (std::size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    anyDiff = anyDiff || a[i].first != c[i].first;
+  }
+  EXPECT_TRUE(anyDiff) << "a different seed must change the draw";
+}
+
+TEST(WeightedSample, ProportionalWeightsEstimateTheSumExactly) {
+  // When q is exactly proportional to the summand (uniformMix = 0), the
+  // self-normalized importance estimator has zero variance: every draw
+  // contributes scale * v = W_p / s_p, so the estimate equals the true
+  // per-partition sum regardless of which elements were drawn.
+  Context ctx(smallCluster(), 2);
+  const auto data = values(500);
+  const double trueSum = std::accumulate(data.begin(), data.end(), 0.0);
+  auto rdd = parallelize(ctx, data, 8);
+  auto out = rdd.weightedSampleWithReplacement([](double v) { return v; },
+                                               256, 99, 0.0)
+                 .collect();
+  double est = 0.0;
+  for (const auto& pr : out) est += pr.second * pr.first;
+  EXPECT_NEAR(est, trueSum, 1e-9 * trueSum);
+}
+
+TEST(WeightedSample, AllZeroWeightsFallBackToUniform) {
+  // Degenerate weights must not divide by zero: the sampler falls back to
+  // the uniform distribution, whose count estimator is exact.
+  Context ctx(smallCluster(), 2);
+  const int n = 400;
+  auto rdd = parallelize(ctx, values(n), 8);
+  auto out = rdd.weightedSampleWithReplacement([](double) { return 0.0; },
+                                               128, 5)
+                 .collect();
+  ASSERT_EQ(out.size(), 128u);
+  double count = 0.0;
+  for (const auto& pr : out) count += pr.second;
+  EXPECT_NEAR(count, double(n), 1e-9 * n);
+}
+
+TEST(WeightedSample, UniformMixKeepsZeroWeightElementsReachable) {
+  // With a pure-leverage distribution, weight-0 elements are never drawn;
+  // the uniform mixture floor keeps every element's mass positive so the
+  // estimator stays unbiased for functions supported there.
+  Context ctx(smallCluster(), 2);
+  std::vector<double> data(200, 0.0);
+  for (std::size_t i = 0; i < data.size(); i += 2) data[i] = 1.0;
+  auto rdd = parallelize(ctx, data, 4);
+  auto out = rdd.weightedSampleWithReplacement([](double v) { return v; },
+                                               4000, 11, 0.5)
+                 .collect();
+  bool sawZero = false;
+  for (const auto& pr : out) sawZero = sawZero || pr.first == 0.0;
+  EXPECT_TRUE(sawZero);
+}
+
+TEST(WeightedSample, RejectsBadArguments) {
+  Context ctx(smallCluster(), 2);
+  auto rdd = parallelize(ctx, values(10), 2);
+  auto weight = [](double v) { return v; };
+  EXPECT_THROW(rdd.weightedSampleWithReplacement(weight, 0, 1), Error);
+  EXPECT_THROW(rdd.weightedSampleWithReplacement(weight, 8, 1, -0.5), Error);
+  EXPECT_THROW(rdd.weightedSampleWithReplacement(weight, 8, 1, 1.5), Error);
+}
+
+TEST(WeightedSample, MetersTheStage) {
+  Context ctx(smallCluster(), 2);
+  auto rdd = parallelize(ctx, values(100), 4);
+  const auto before = ctx.metrics().totals();
+  rdd.weightedSampleWithReplacement([](double v) { return v; }, 32, 3)
+      .collect();
+  const auto after = ctx.metrics().totals();
+  EXPECT_GT(after.flops, before.flops)
+      << "weight evaluation + draws must be metered";
+}
+
+}  // namespace
+}  // namespace cstf::sparkle

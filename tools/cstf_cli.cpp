@@ -15,6 +15,12 @@
 //   --iters N       max iterations (default 20)
 //   --tol T         fit-improvement stopping tolerance (default 1e-6)
 //   --backend B     coo | qcoo | bigtensor | reference (default qcoo)
+//   --solver S      exact | sketched (default exact; sketched runs
+//                   leverage-score-sampled MTTKRPs with exact fits only
+//                   every --sketch-fit-every iterations)
+//   --sketch-samples N  nonzeros sampled per sketched MTTKRP (default 16384)
+//   --sketch-seed S     sampling seed for the sketched solver (default 0x5eed)
+//   --sketch-fit-every K exact-fit cadence for the sketched solver (default 5)
 //   --skew-policy P hash | frequency | replicate MTTKRP shuffle skew
 //                   mitigation (default hash)
 //   --local-kernel K coo | csf per-partition MTTKRP compute kernel
@@ -72,6 +78,7 @@
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -81,6 +88,7 @@
 #include "common/artifacts.hpp"
 #include "common/heartbeat.hpp"
 #include "common/metrics_registry.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "cstf/cstf.hpp"
@@ -101,6 +109,9 @@ int usage() {
                "       cstf generate <analog> <out.tns> [--scale X]\n"
                "       cstf factor <tensor> [--rank R] [--iters N] [--tol T]\n"
                "                   [--backend coo|qcoo|bigtensor|reference]\n"
+               "                   [--solver exact|sketched]\n"
+               "                   [--sketch-samples N] [--sketch-seed S]\n"
+               "                   [--sketch-fit-every K]\n"
                "                   [--skew-policy hash|frequency|replicate]\n"
                "                   [--local-kernel coo|csf]\n"
                "                   [--nodes N] [--seed S] [--scale X]\n"
@@ -141,6 +152,10 @@ struct Args {
   int iters = 20;
   double tol = 1e-6;
   std::string backend = "qcoo";
+  std::string solver = "exact";
+  std::size_t sketchSamples = 16384;
+  std::uint64_t sketchSeed = 0x5eed;
+  int sketchFitEvery = 5;
   std::string skewPolicy = "hash";
   std::string localKernel = "coo";
   int nodes = 8;
@@ -178,6 +193,13 @@ struct Args {
 };
 
 bool parseArgs(int argc, char** argv, Args& a) {
+  // Numeric values go through common/parse.hpp's strict checked parsing:
+  // a malformed or out-of-range value prints the offending flag and value
+  // and fails the parse (the caller exits non-zero), instead of atoi-style
+  // silently becoming 0.
+  constexpr int kIntMax = std::numeric_limits<int>::max();
+  constexpr std::size_t kSizeMax = std::numeric_limits<std::size_t>::max();
+  constexpr double kDoubleMax = std::numeric_limits<double>::max();
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* name) -> const char* {
@@ -188,21 +210,46 @@ bool parseArgs(int argc, char** argv, Args& a) {
       return argv[++i];
     };
     if (arg == "--rank") {
-      const char* v = next("--rank");
-      if (!v) return false;
-      a.rank = std::strtoul(v, nullptr, 10);
+      if (!parseFlag("--rank", next("--rank"), a.rank, 1, kSizeMax)) {
+        return false;
+      }
     } else if (arg == "--iters") {
-      const char* v = next("--iters");
-      if (!v) return false;
-      a.iters = std::atoi(v);
+      if (!parseFlag("--iters", next("--iters"), a.iters, 1, kIntMax)) {
+        return false;
+      }
     } else if (arg == "--tol") {
-      const char* v = next("--tol");
-      if (!v) return false;
-      a.tol = std::atof(v);
+      if (!parseFlag("--tol", next("--tol"), a.tol, 0.0, kDoubleMax)) {
+        return false;
+      }
     } else if (arg == "--backend") {
       const char* v = next("--backend");
       if (!v) return false;
       a.backend = v;
+    } else if (arg == "--solver") {
+      const char* v = next("--solver");
+      if (!v) return false;
+      if (std::string(v) != "exact" && std::string(v) != "sketched") {
+        std::fprintf(stderr,
+                     "invalid value '%s' for --solver (expected exact or "
+                     "sketched)\n",
+                     v);
+        return false;
+      }
+      a.solver = v;
+    } else if (arg == "--sketch-samples") {
+      if (!parseFlag("--sketch-samples", next("--sketch-samples"),
+                     a.sketchSamples, 1, kSizeMax)) {
+        return false;
+      }
+    } else if (arg == "--sketch-seed") {
+      if (!parseFlag("--sketch-seed", next("--sketch-seed"), a.sketchSeed)) {
+        return false;
+      }
+    } else if (arg == "--sketch-fit-every") {
+      if (!parseFlag("--sketch-fit-every", next("--sketch-fit-every"),
+                     a.sketchFitEvery, 1, kIntMax)) {
+        return false;
+      }
     } else if (arg == "--skew-policy") {
       const char* v = next("--skew-policy");
       if (!v) return false;
@@ -212,17 +259,15 @@ bool parseArgs(int argc, char** argv, Args& a) {
       if (!v) return false;
       a.localKernel = v;
     } else if (arg == "--nodes") {
-      const char* v = next("--nodes");
-      if (!v) return false;
-      a.nodes = std::atoi(v);
+      if (!parseFlag("--nodes", next("--nodes"), a.nodes, 1, kIntMax)) {
+        return false;
+      }
     } else if (arg == "--seed") {
-      const char* v = next("--seed");
-      if (!v) return false;
-      a.seed = std::strtoull(v, nullptr, 10);
+      if (!parseFlag("--seed", next("--seed"), a.seed)) return false;
     } else if (arg == "--scale") {
-      const char* v = next("--scale");
-      if (!v) return false;
-      a.scale = std::atof(v);
+      if (!parseFlag("--scale", next("--scale"), a.scale, 1e-9, 1e9)) {
+        return false;
+      }
     } else if (arg == "--output") {
       const char* v = next("--output");
       if (!v) return false;
@@ -244,30 +289,34 @@ bool parseArgs(int argc, char** argv, Args& a) {
       if (!v) return false;
       a.checkpointDir = v;
     } else if (arg == "--checkpoint-every") {
-      const char* v = next("--checkpoint-every");
-      if (!v) return false;
-      a.checkpointEvery = std::atoi(v);
+      if (!parseFlag("--checkpoint-every", next("--checkpoint-every"),
+                     a.checkpointEvery, 0, kIntMax)) {
+        return false;
+      }
     } else if (arg == "--resume") {
       const char* v = next("--resume");
       if (!v) return false;
       a.checkpointDir = v;
       a.resume = true;
     } else if (arg == "--node-loss-rate") {
-      const char* v = next("--node-loss-rate");
-      if (!v) return false;
-      a.nodeLossRate = std::atof(v);
+      if (!parseFlag("--node-loss-rate", next("--node-loss-rate"),
+                     a.nodeLossRate, 0.0, 1.0)) {
+        return false;
+      }
     } else if (arg == "--task-failure-rate") {
-      const char* v = next("--task-failure-rate");
-      if (!v) return false;
-      a.taskFailureRate = std::atof(v);
+      if (!parseFlag("--task-failure-rate", next("--task-failure-rate"),
+                     a.taskFailureRate, 0.0, 1.0)) {
+        return false;
+      }
     } else if (arg == "--fault-seed") {
-      const char* v = next("--fault-seed");
-      if (!v) return false;
-      a.faultSeed = std::strtoull(v, nullptr, 10);
+      if (!parseFlag("--fault-seed", next("--fault-seed"), a.faultSeed)) {
+        return false;
+      }
     } else if (arg == "--max-stage-attempts") {
-      const char* v = next("--max-stage-attempts");
-      if (!v) return false;
-      a.maxStageAttempts = std::atoi(v);
+      if (!parseFlag("--max-stage-attempts", next("--max-stage-attempts"),
+                     a.maxStageAttempts, 1, kIntMax)) {
+        return false;
+      }
     } else if (arg == "--model-out") {
       const char* v = next("--model-out");
       if (!v) return false;
@@ -281,55 +330,63 @@ bool parseArgs(int argc, char** argv, Args& a) {
       if (!v) return false;
       a.indicesSpec = v;
     } else if (arg == "--top-k") {
-      const char* v = next("--top-k");
-      if (!v) return false;
-      a.topK = std::strtoul(v, nullptr, 10);
+      if (!parseFlag("--top-k", next("--top-k"), a.topK, 1, kSizeMax)) {
+        return false;
+      }
     } else if (arg == "--brute-force") {
       a.bruteForce = true;
     } else if (arg == "--mode") {
-      const char* v = next("--mode");
-      if (!v) return false;
-      a.mode = std::atoi(v);
+      if (!parseFlag("--mode", next("--mode"), a.mode, 0, kIntMax)) {
+        return false;
+      }
     } else if (arg == "--clients") {
-      const char* v = next("--clients");
-      if (!v) return false;
-      a.clients = std::strtoul(v, nullptr, 10);
+      if (!parseFlag("--clients", next("--clients"), a.clients, 1,
+                     kSizeMax)) {
+        return false;
+      }
     } else if (arg == "--requests") {
-      const char* v = next("--requests");
-      if (!v) return false;
-      a.requests = std::strtoul(v, nullptr, 10);
+      if (!parseFlag("--requests", next("--requests"), a.requests, 1,
+                     kSizeMax)) {
+        return false;
+      }
     } else if (arg == "--distinct") {
-      const char* v = next("--distinct");
-      if (!v) return false;
-      a.distinct = std::strtoul(v, nullptr, 10);
+      if (!parseFlag("--distinct", next("--distinct"), a.distinct, 1,
+                     kSizeMax)) {
+        return false;
+      }
     } else if (arg == "--zipf") {
-      const char* v = next("--zipf");
-      if (!v) return false;
-      a.zipf = std::atof(v);
+      if (!parseFlag("--zipf", next("--zipf"), a.zipf, 0.0, kDoubleMax)) {
+        return false;
+      }
     } else if (arg == "--max-batch") {
-      const char* v = next("--max-batch");
-      if (!v) return false;
-      a.maxBatch = std::strtoul(v, nullptr, 10);
+      if (!parseFlag("--max-batch", next("--max-batch"), a.maxBatch, 0,
+                     kSizeMax)) {
+        return false;
+      }
     } else if (arg == "--max-delay-micros") {
-      const char* v = next("--max-delay-micros");
-      if (!v) return false;
-      a.maxDelayMicros = std::strtoull(v, nullptr, 10);
+      if (!parseFlag("--max-delay-micros", next("--max-delay-micros"),
+                     a.maxDelayMicros)) {
+        return false;
+      }
     } else if (arg == "--cache-capacity") {
-      const char* v = next("--cache-capacity");
-      if (!v) return false;
-      a.cacheCapacity = std::strtoul(v, nullptr, 10);
+      if (!parseFlag("--cache-capacity", next("--cache-capacity"),
+                     a.cacheCapacity, 0, kSizeMax)) {
+        return false;
+      }
     } else if (arg == "--metrics-out") {
       const char* v = next("--metrics-out");
       if (!v) return false;
       a.metricsOut = v;
     } else if (arg == "--metrics-interval-ms") {
-      const char* v = next("--metrics-interval-ms");
-      if (!v) return false;
-      a.metricsIntervalMs = std::atoi(v);
+      if (!parseFlag("--metrics-interval-ms", next("--metrics-interval-ms"),
+                     a.metricsIntervalMs, 1, kIntMax)) {
+        return false;
+      }
     } else if (arg == "--slo-p99-us") {
-      const char* v = next("--slo-p99-us");
-      if (!v) return false;
-      a.sloP99Us = std::atof(v);
+      if (!parseFlag("--slo-p99-us", next("--slo-p99-us"), a.sloP99Us, 0.0,
+                     kDoubleMax)) {
+        return false;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -438,13 +495,17 @@ int cmdFactor(const Args& a, const std::string& spec) {
   opts.tolerance = a.tol;
   opts.backend = backend;
   opts.seed = a.seed;
+  opts.solver = cstf_core::solverFromName(a.solver);
+  opts.sketch.samples = a.sketchSamples;
+  opts.sketch.seed = a.sketchSeed;
+  opts.sketch.exactFitEvery = a.sketchFitEvery;
   opts.checkpointDir = a.checkpointDir;
   opts.checkpointEvery = a.checkpointEvery;
   opts.resume = a.resume;
 
-  std::printf("\nCP-ALS: rank %zu, backend %s, skew policy %s, "
+  std::printf("\nCP-ALS: rank %zu, backend %s, solver %s, skew policy %s, "
               "local kernel %s, %d simulated nodes\n",
-              a.rank, cstf_core::backendName(backend),
+              a.rank, cstf_core::backendName(backend), a.solver.c_str(),
               a.skewPolicy.c_str(), a.localKernel.c_str(), a.nodes);
   cstf_core::CpAlsResult result;
   try {
@@ -472,8 +533,12 @@ int cmdFactor(const Args& a, const std::string& spec) {
                 result.report.resumedFromIteration);
   }
   for (const auto& it : result.iterations) {
-    // Iteration 1 has no previous fit, so its delta is undefined.
-    if (std::isfinite(it.fitDelta)) {
+    // Iteration 1 has no previous fit, so its delta is undefined; sketched
+    // iterations off the exact-fit cadence have no fit at all.
+    if (!std::isfinite(it.fit)) {
+      std::printf("  iter %3d  fit    --     (  --   )  cluster %s\n",
+                  it.iteration, humanSeconds(it.simTimeSec).c_str());
+    } else if (std::isfinite(it.fitDelta)) {
       std::printf("  iter %3d  fit %.6f  (+%.2e)  cluster %s\n", it.iteration,
                   it.fit, it.fitDelta, humanSeconds(it.simTimeSec).c_str());
     } else {
