@@ -43,6 +43,25 @@ class JobAbortedError : public Error {
   using Error::Error;
 };
 
+/// The serving front door refused or dropped a request instead of letting
+/// latency grow without bound: the admission queue was full, or every
+/// replica of a required shard was down. Shed requests are counted, never
+/// silently lost — the client sees this error, the `shed` counters see the
+/// drop.
+class ShedError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A request's per-request deadline expired before its result was
+/// produced (deadline-aware load shedding, or a dispatcher that died with
+/// the request still queued). The message names the request so a stuck
+/// waiter can tell *which* submission failed.
+class DeadlineExceededError : public ShedError {
+ public:
+  using ShedError::ShedError;
+};
+
 namespace detail {
 [[noreturn]] inline void assertFail(const char* expr, const char* file,
                                     int line, const char* msg) {

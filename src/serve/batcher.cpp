@@ -7,6 +7,7 @@
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "serve/sharded_engine.hpp"
 
 namespace cstf::serve {
 
@@ -23,9 +24,29 @@ void histogramJson(JsonWriter& w, const Histogram& h) {
   w.endObject();
 }
 
+/// set_exception tolerant of promises the dispatcher already fulfilled
+/// before dying mid-flush.
+void failPromise(std::promise<Batcher::ResultPtr>& promise,
+                 std::exception_ptr error) {
+  try {
+    promise.set_exception(std::move(error));
+  } catch (const std::future_error&) {
+  }
+}
+
 }  // namespace
 
-std::string serveReportJson(const ServeStats& s) {
+std::string describeRequest(const TopKRequest& r) {
+  std::string fixed;
+  for (std::size_t i = 0; i < r.fixed.size(); ++i) {
+    if (i > 0) fixed += ',';
+    fixed += std::to_string(r.fixed[i]);
+  }
+  return strprintf("topk(mode=%d, k=%zu, fixed=[%s])", int(r.mode) + 1, r.k,
+                   fixed.c_str());
+}
+
+std::string serveReportJson(const ServeStats& s, const ShardedStats* sharding) {
   JsonWriter w;
   w.beginObject();
   w.kv("schema", "cstf-serve-report-v1");
@@ -33,6 +54,16 @@ std::string serveReportJson(const ServeStats& s) {
   w.kv("completed", s.completed);
   w.kv("elapsedSec", s.elapsedSec);
   w.kv("qps", s.qps);
+  w.key("shed");
+  w.beginObject();
+  w.kv("queueFull", s.shedQueueFull);
+  w.kv("deadline", s.shedDeadline);
+  w.kv("unavailable", s.shedUnavailable);
+  w.kv("dispatcherDead", s.shedDispatcherDead);
+  w.kv("total", s.shedTotal());
+  w.endObject();
+  w.kv("failed", s.failed);
+  w.kv("dispatcherDead", s.dispatcherDead);
   w.key("cache");
   w.beginObject();
   w.kv("hits", s.cacheHits);
@@ -61,16 +92,30 @@ std::string serveReportJson(const ServeStats& s) {
     w.kv("inBreach", s.sloInBreach);
     w.endObject();
   }
+  if (sharding != nullptr) {
+    w.key("sharding");
+    w.beginObject();
+    w.kv("shards", static_cast<std::uint64_t>(sharding->shards));
+    w.kv("nodes", static_cast<std::uint64_t>(sharding->nodes));
+    w.kv("replicas", static_cast<std::uint64_t>(sharding->totalReplicas));
+    w.kv("hotShards", static_cast<std::uint64_t>(sharding->hotShards));
+    w.kv("deadNodes", static_cast<std::uint64_t>(sharding->deadNodes));
+    w.kv("shardQueries", sharding->shardQueries);
+    w.kv("failovers", sharding->failovers);
+    w.kv("shedUnavailable", sharding->shedUnavailable);
+    w.kv("nodesKilled", sharding->nodesKilled);
+    w.endObject();
+  }
   w.endObject();
   return w.take();
 }
 
-Batcher::Batcher(std::shared_ptr<const Engine> engine, BatcherOptions opts,
-                 TraceRecorder& trace)
-    : opts_(opts),
-      slo_(SloOptions{opts.sloP99Micros, opts.sloWindowMs, 8}),
+Batcher::Batcher(std::shared_ptr<const TopKProvider> engine,
+                 BatcherOptions opts, TraceRecorder& trace)
+    : opts_(std::move(opts)),
+      slo_(SloOptions{opts_.sloP99Micros, opts_.sloWindowMs, 8}),
       trace_(trace),
-      cache_(opts.cacheCapacity, opts.cacheShards),
+      cache_(opts_.cacheCapacity, opts_.cacheShards),
       start_(std::chrono::steady_clock::now()),
       engine_(std::move(engine)) {
   CSTF_CHECK(engine_ != nullptr, "batcher needs an engine");
@@ -89,6 +134,15 @@ void Batcher::bindLiveInstruments() {
       &reg->counter("serve_batch_flushes_total", {{"reason", "full"}});
   live_.flushDeadline =
       &reg->counter("serve_batch_flushes_total", {{"reason", "deadline"}});
+  live_.shedQueueFull =
+      &reg->counter("serve_shed_total", {{"reason", "queue_full"}});
+  live_.shedDeadline =
+      &reg->counter("serve_shed_total", {{"reason", "deadline"}});
+  live_.shedUnavailable =
+      &reg->counter("serve_shed_total", {{"reason", "unavailable"}});
+  live_.shedDispatcherDead =
+      &reg->counter("serve_shed_total", {{"reason", "dispatcher_dead"}});
+  live_.failedTotal = &reg->counter("serve_failed_total");
   live_.cacheHits = &reg->counter("serve_cache_hits_total");
   live_.cacheMisses = &reg->counter("serve_cache_misses_total");
   live_.coalesced = &reg->counter("serve_coalesced_total");
@@ -100,6 +154,7 @@ void Batcher::bindLiveInstruments() {
   live_.cacheHitRatio = &reg->gauge("serve_cache_hit_ratio");
   live_.sloInBreach = &reg->gauge("serve_slo_in_breach");
   live_.sloWindowP99 = &reg->gauge("serve_slo_window_p99_micros");
+  live_.dispatcherDead = &reg->gauge("serve_dispatcher_dead");
   live_.latencyMicros = &reg->histogram("serve_latency_micros");
   live_.batchSize = &reg->histogram("serve_batch_size");
   slo_.setCallback([this](const SloEvent& ev) {
@@ -142,30 +197,59 @@ Batcher::~Batcher() {
 }
 
 std::future<Batcher::ResultPtr> Batcher::submit(TopKRequest req) {
+  return submit(std::move(req), 0);
+}
+
+std::future<Batcher::ResultPtr> Batcher::submit(TopKRequest req,
+                                                std::uint64_t deadlineMicros) {
   Pending p;
   p.req = std::move(req);
   p.enqueued = std::chrono::steady_clock::now();
+  p.deadlineMicros =
+      deadlineMicros > 0 ? deadlineMicros : opts_.deadlineMicros;
   std::future<ResultPtr> fut = p.promise.get_future();
+  bool shedFull = false;
+  bool shedDead = false;
   std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     CSTF_CHECK(!stop_, "batcher is shutting down");
-    queue_.push_back(std::move(p));
-    depth = queue_.size();
+    if (dispatcherDead_) {
+      shedDead = true;
+    } else if (opts_.queueLimit > 0 && queue_.size() >= opts_.queueLimit) {
+      shedFull = true;
+    } else {
+      queue_.push_back(std::move(p));
+      depth = queue_.size();
+    }
   }
-  cv_.notify_all();
-  if (live_.submitted != nullptr) {
-    live_.submitted->add();
-    live_.queueDepth->set(double(depth));
-  }
+  if (live_.submitted != nullptr) live_.submitted->add();
   {
     std::lock_guard<std::mutex> lock(statsMutex_);
     ++stats_.submitted;
+    if (shedFull) ++stats_.shedQueueFull;
+    if (shedDead) ++stats_.shedDispatcherDead;
   }
+  if (shedFull || shedDead) {
+    // Admission control / dead front door: refuse at the door with a typed
+    // error instead of queueing work nobody will serve in time.
+    if (shedFull && live_.shedQueueFull != nullptr) live_.shedQueueFull->add();
+    if (shedDead && live_.shedDispatcherDead != nullptr) {
+      live_.shedDispatcherDead->add();
+    }
+    const char* why = shedDead ? "dispatcher thread died; request refused"
+                               : "admission queue full; request shed";
+    failPromise(p.promise, std::make_exception_ptr(ShedError(
+                               std::string(why) + ": " +
+                               describeRequest(p.req))));
+    return fut;
+  }
+  cv_.notify_all();
+  if (live_.queueDepth != nullptr) live_.queueDepth->set(double(depth));
   return fut;
 }
 
-void Batcher::reload(std::shared_ptr<const Engine> engine) {
+void Batcher::reload(std::shared_ptr<const TopKProvider> engine) {
   CSTF_CHECK(engine != nullptr, "cannot reload a null engine");
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -186,7 +270,7 @@ void Batcher::reload(std::shared_ptr<const Engine> engine) {
   }
 }
 
-std::shared_ptr<const Engine> Batcher::engine() const {
+std::shared_ptr<const TopKProvider> Batcher::engine() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return engine_;
 }
@@ -210,6 +294,28 @@ ServeStats Batcher::stats() const {
   return s;
 }
 
+void Batcher::shedExpired(std::vector<Pending>& expired) {
+  if (expired.empty()) return;
+  // Commit the accounting before delivering any error: the moment a waiter
+  // observes its DeadlineExceededError, stats() must already show the shed.
+  {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    stats_.shedDeadline += expired.size();
+  }
+  if (live_.shedDeadline != nullptr) live_.shedDeadline->add(expired.size());
+  for (Pending& p : expired) {
+    const double waited =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - p.enqueued)
+            .count();
+    failPromise(p.promise,
+                std::make_exception_ptr(DeadlineExceededError(strprintf(
+                    "deadline %lluus exceeded after %.0fus in queue: %s",
+                    static_cast<unsigned long long>(p.deadlineMicros), waited,
+                    describeRequest(p.req).c_str()))));
+  }
+}
+
 void Batcher::dispatchLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -227,22 +333,92 @@ void Batcher::dispatchLoop() {
            cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
     }
     const bool full = queue_.size() >= opts_.maxBatch;
+    // Deadline-aware shedding at dequeue: a request whose deadline already
+    // passed gets a typed error now instead of consuming batch capacity on
+    // an answer nobody is waiting for.
     std::vector<Pending> batch;
+    std::vector<Pending> expired;
     batch.reserve(std::min(queue_.size(), opts_.maxBatch));
+    const auto now = std::chrono::steady_clock::now();
     while (!queue_.empty() && batch.size() < opts_.maxBatch) {
-      batch.push_back(std::move(queue_.front()));
+      Pending p = std::move(queue_.front());
       queue_.pop_front();
+      if (p.deadlineMicros > 0 &&
+          now >= p.enqueued + std::chrono::microseconds(p.deadlineMicros)) {
+        expired.push_back(std::move(p));
+      } else {
+        batch.push_back(std::move(p));
+      }
     }
-    const std::shared_ptr<const Engine> engine = engine_;
+    if (live_.queueDepth != nullptr) {
+      live_.queueDepth->set(double(queue_.size()));
+    }
+    const std::shared_ptr<const TopKProvider> engine = engine_;
     const std::uint64_t version = version_;
+    const std::uint64_t batchIndex = ++batchesDispatched_;
     lock.unlock();
-    processBatch(batch, engine, version, full);
+    shedExpired(expired);
+    std::exception_ptr fatal;
+    try {
+      if (opts_.dispatcherFaultHook) opts_.dispatcherFaultHook(batchIndex);
+      if (!batch.empty()) processBatch(batch, engine, version, full);
+      // Batch boundaries are the serving tier's fault-plan clock: a
+      // scheduled node loss lands here, between batches.
+      engine->noteBatchBoundary(batchIndex);
+    } catch (...) {
+      fatal = std::current_exception();
+    }
+    if (fatal) {
+      // The dispatcher is dying. Close the door and commit the accounting
+      // *before* delivering any error: the moment a waiter observes its
+      // failure, a follow-up submit must already shed at the door and
+      // stats() must already show the death. Then every in-flight and
+      // queued waiter gets a typed error naming its request — no future
+      // is ever abandoned to a broken_promise.
+      std::deque<Pending> drained;
+      {
+        std::lock_guard<std::mutex> relock(mutex_);
+        dispatcherDead_ = true;
+        drained.swap(queue_);
+      }
+      const std::uint64_t failedNow = batch.size() + drained.size();
+      {
+        std::lock_guard<std::mutex> slock(statsMutex_);
+        stats_.failed += failedNow;
+        stats_.dispatcherDead = true;
+      }
+      if (live_.failedTotal != nullptr) live_.failedTotal->add(failedNow);
+      if (live_.dispatcherDead != nullptr) live_.dispatcherDead->set(1.0);
+      for (Pending& p : batch) {
+        failPromise(p.promise,
+                    std::make_exception_ptr(DeadlineExceededError(
+                        "dispatcher died mid-flush with request in batch: " +
+                        describeRequest(p.req))));
+      }
+      for (Pending& p : drained) {
+        failPromise(p.promise,
+                    std::make_exception_ptr(DeadlineExceededError(
+                        "dispatcher died with request still queued: " +
+                        describeRequest(p.req))));
+      }
+      try {
+        std::rethrow_exception(fatal);
+      } catch (const std::exception& e) {
+        CSTF_LOG_WARN("serve dispatcher died: %s (%llu waiters failed)",
+                      e.what(),
+                      static_cast<unsigned long long>(failedNow));
+      } catch (...) {
+        CSTF_LOG_WARN("serve dispatcher died (%llu waiters failed)",
+                      static_cast<unsigned long long>(failedNow));
+      }
+      return;
+    }
     lock.lock();
   }
 }
 
 void Batcher::processBatch(std::vector<Pending>& batch,
-                           const std::shared_ptr<const Engine>& engine,
+                           const std::shared_ptr<const TopKProvider>& engine,
                            std::uint64_t version, bool full) {
   TraceSpan span(trace_, "serve:batch", "serve");
 
@@ -289,6 +465,22 @@ void Batcher::processBatch(std::vector<Pending>& batch,
     answers.push_back(std::move(ans));
   }
 
+  // Classify errored answers: a ShedError (every replica of a shard down)
+  // is load shedding — counted, not a serving failure; anything else is.
+  std::uint64_t shedUnavail = 0;
+  std::uint64_t failedReqs = 0;
+  for (const Answer& ans : answers) {
+    if (!ans.error) continue;
+    const std::uint64_t n = ans.members->size();
+    try {
+      std::rethrow_exception(ans.error);
+    } catch (const ShedError&) {
+      shedUnavail += n;
+    } catch (...) {
+      failedReqs += n;
+    }
+  }
+
   if (span.active()) {
     span.arg("requests", std::uint64_t(batch.size()));
     span.arg("unique", std::uint64_t(groups.size()));
@@ -305,6 +497,8 @@ void Batcher::processBatch(std::vector<Pending>& batch,
     live_.completed->add(batch.size());
     if (hits) live_.cacheHits->add(hits);
     if (misses) live_.cacheMisses->add(misses);
+    if (shedUnavail) live_.shedUnavailable->add(shedUnavail);
+    if (failedReqs) live_.failedTotal->add(failedReqs);
     if (batch.size() > groups.size()) {
       live_.coalesced->add(batch.size() - groups.size());
     }
@@ -335,6 +529,8 @@ void Batcher::processBatch(std::vector<Pending>& batch,
     stats_.completed += batch.size();
     stats_.cacheHits += hits;
     stats_.cacheMisses += misses;
+    stats_.shedUnavailable += shedUnavail;
+    stats_.failed += failedReqs;
     stats_.coalesced += batch.size() - groups.size();
     for (const Pending& p : batch) {
       stats_.latencyMicros.record(

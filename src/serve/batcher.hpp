@@ -10,18 +10,32 @@
 // invalidates the cache atomically with respect to in-flight batches (a
 // batch computed against the old engine can never poison the new cache).
 //
+// The batcher is also the serving tier's front door: admission control and
+// load shedding keep overload from turning into unbounded latency.
+// queueLimit bounds the pending queue — a submit against a full queue is
+// refused with a typed ShedError before it queues. deadlineMicros gives
+// every request a per-request deadline; a request still queued when it
+// expires is shed at dequeue with a DeadlineExceededError naming it, so
+// the batch computes only answers someone will still read. The same
+// deadline bounds the waiter if the dispatcher thread itself dies
+// mid-flush: every queued request is failed with a typed error instead of
+// a silent broken_promise, and later submits are refused at the door.
+// Every shed is counted (serve_shed_total by reason), never lost.
+//
 // Every request's admission-to-completion latency and every batch's size
 // land in common/histogram; stats() snapshots them, and serveReportJson()
 // renders the whole picture (qps, p50/p95/p99/max, batch-size
-// distribution, cache hit rate) as a cstf-serve-report-v1 JSON document.
-// When tracing is enabled each dispatched batch records a "serve:batch"
-// span with request/unique/hit counts.
+// distribution, cache hit rate, shed/failed accounting, optional sharding
+// fabric state) as a cstf-serve-report-v1 JSON document. When tracing is
+// enabled each dispatched batch records a "serve:batch" span with
+// request/unique/hit counts.
 #pragma once
 
 #include <condition_variable>
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -39,6 +53,8 @@
 #include "serve/engine.hpp"
 
 namespace cstf::serve {
+
+struct ShardedStats;
 
 struct TopKRequest {
   ModeId mode = 0;
@@ -59,11 +75,22 @@ struct TopKRequestHash {
   }
 };
 
+/// Human-readable request identity for typed shed/deadline errors, e.g.
+/// "topk(mode=2, k=5, fixed=[3,0,7])".
+std::string describeRequest(const TopKRequest& r);
+
 struct BatcherOptions {
   /// Flush as soon as this many requests are pending.
   std::size_t maxBatch = 32;
   /// Flush when the oldest pending request has waited this long.
   std::uint64_t maxDelayMicros = 200;
+  /// Admission control: pending requests allowed in the queue before
+  /// submit() sheds with ShedError; 0 = unbounded (no admission control).
+  std::size_t queueLimit = 0;
+  /// Per-request deadline: a request still queued this long after
+  /// admission is shed with DeadlineExceededError instead of being
+  /// computed; 0 disables. submit() can override per request.
+  std::uint64_t deadlineMicros = 0;
   /// Total result-cache entries; 0 disables caching.
   std::size_t cacheCapacity = 4096;
   std::size_t cacheShards = 8;
@@ -75,12 +102,30 @@ struct BatcherOptions {
   /// Live instrument sink (`serve_*` series); nullptr disables live
   /// metrics. Defaults to the process-global registry.
   metrics::Registry* liveMetrics = &metrics::globalRegistry();
+  /// Test-only fault injection: called at the top of each dispatched batch
+  /// (1-based index) before any promise is fulfilled; a throw simulates
+  /// the dispatcher thread dying mid-flush.
+  std::function<void(std::uint64_t)> dispatcherFaultHook;
 };
 
 /// Point-in-time snapshot of the batcher's counters.
 struct ServeStats {
   std::uint64_t submitted = 0;
+  /// Requests answered by a batch (with a value or the engine's error).
   std::uint64_t completed = 0;
+  /// Refused at the door: admission queue at queueLimit.
+  std::uint64_t shedQueueFull = 0;
+  /// Dropped at dequeue: per-request deadline expired while queued.
+  std::uint64_t shedDeadline = 0;
+  /// Answered with ShedError: a required shard had no replica alive.
+  std::uint64_t shedUnavailable = 0;
+  /// Refused at the door after the dispatcher thread died.
+  std::uint64_t shedDispatcherDead = 0;
+  /// Answered with a non-shed error, or failed by dispatcher death.
+  std::uint64_t failed = 0;
+  /// The dispatcher thread died; all pending requests were failed with
+  /// typed errors and new submits shed at the door.
+  bool dispatcherDead = false;
   /// Per distinct request per batch: answered from cache / computed.
   std::uint64_t cacheHits = 0;
   std::uint64_t cacheMisses = 0;
@@ -103,17 +148,24 @@ struct ServeStats {
   Histogram latencyMicros;
   /// Requests per dispatched batch.
   Histogram batchSizes;
+
+  std::uint64_t shedTotal() const {
+    return shedQueueFull + shedDeadline + shedUnavailable +
+           shedDispatcherDead;
+  }
 };
 
-/// Render `s` as a cstf-serve-report-v1 JSON document.
-std::string serveReportJson(const ServeStats& s);
+/// Render `s` as a cstf-serve-report-v1 JSON document; `sharding`, when
+/// non-null, adds the sharded fabric's state (shards, replicas, failovers).
+std::string serveReportJson(const ServeStats& s,
+                            const ShardedStats* sharding = nullptr);
 
 class Batcher {
  public:
   using ResultPtr = std::shared_ptr<const TopKResult>;
 
-  Batcher(std::shared_ptr<const Engine> engine, BatcherOptions opts = {},
-          TraceRecorder& trace = globalTrace());
+  Batcher(std::shared_ptr<const TopKProvider> engine,
+          BatcherOptions opts = {}, TraceRecorder& trace = globalTrace());
   /// Drains every pending request before returning.
   ~Batcher();
 
@@ -121,15 +173,20 @@ class Batcher {
   Batcher& operator=(const Batcher&) = delete;
 
   /// Enqueue a request; the future resolves when its batch completes (or
-  /// carries the engine's exception for an invalid request).
+  /// carries the engine's exception for an invalid request). A request
+  /// refused by admission control resolves immediately with ShedError; one
+  /// whose deadline expires while queued resolves with
+  /// DeadlineExceededError naming it.
   std::future<ResultPtr> submit(TopKRequest req);
+  /// Same, with a per-request deadline override (0 = the option default).
+  std::future<ResultPtr> submit(TopKRequest req, std::uint64_t deadlineMicros);
 
   /// Swap in a retrained model and invalidate the cache. Requests already
   /// admitted may still be answered by the previous engine; results they
   /// compute are not cached.
-  void reload(std::shared_ptr<const Engine> engine);
+  void reload(std::shared_ptr<const TopKProvider> engine);
 
-  std::shared_ptr<const Engine> engine() const;
+  std::shared_ptr<const TopKProvider> engine() const;
   ServeStats stats() const;
 
   /// Evaluate the SLO watchdog now (the dispatcher also evaluates it after
@@ -144,12 +201,15 @@ class Batcher {
     TopKRequest req;
     std::promise<ResultPtr> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Effective per-request deadline in micros since `enqueued`; 0 = none.
+    std::uint64_t deadlineMicros = 0;
   };
 
   void dispatchLoop();
   void processBatch(std::vector<Pending>& batch,
-                    const std::shared_ptr<const Engine>& engine,
+                    const std::shared_ptr<const TopKProvider>& engine,
                     std::uint64_t version, bool full);
+  void shedExpired(std::vector<Pending>& expired);
   void bindLiveInstruments();
 
   /// Live (lock-free) instruments; all-null when liveMetrics is nullptr.
@@ -159,6 +219,11 @@ class Batcher {
     metrics::Counter* batches = nullptr;
     metrics::Counter* flushFull = nullptr;
     metrics::Counter* flushDeadline = nullptr;
+    metrics::Counter* shedQueueFull = nullptr;
+    metrics::Counter* shedDeadline = nullptr;
+    metrics::Counter* shedUnavailable = nullptr;
+    metrics::Counter* shedDispatcherDead = nullptr;
+    metrics::Counter* failedTotal = nullptr;
     metrics::Counter* cacheHits = nullptr;
     metrics::Counter* cacheMisses = nullptr;
     metrics::Counter* coalesced = nullptr;
@@ -170,6 +235,7 @@ class Batcher {
     metrics::Gauge* cacheHitRatio = nullptr;
     metrics::Gauge* sloInBreach = nullptr;
     metrics::Gauge* sloWindowP99 = nullptr;
+    metrics::Gauge* dispatcherDead = nullptr;
     metrics::AtomicHistogram* latencyMicros = nullptr;
     metrics::AtomicHistogram* batchSize = nullptr;
   };
@@ -181,12 +247,14 @@ class Batcher {
   ShardedLruCache<TopKRequest, TopKResult, TopKRequestHash> cache_;
   const std::chrono::steady_clock::time_point start_;
 
-  mutable std::mutex mutex_;  // queue + engine + version + stop flag
+  mutable std::mutex mutex_;  // queue + engine + version + stop/dead flags
   std::condition_variable cv_;
   std::deque<Pending> queue_;
-  std::shared_ptr<const Engine> engine_;
+  std::shared_ptr<const TopKProvider> engine_;
   std::uint64_t version_ = 0;
+  std::uint64_t batchesDispatched_ = 0;
   bool stop_ = false;
+  bool dispatcherDead_ = false;
 
   mutable std::mutex statsMutex_;
   ServeStats stats_;

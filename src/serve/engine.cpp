@@ -13,12 +13,9 @@ namespace cstf::serve {
 
 namespace {
 
-/// Total order on candidates: higher score wins, ties go to the lower
-/// index — the same order brute force sorts by, so pruned and unpruned
-/// runs return identical results.
-bool better(const TopKEntry& a, const TopKEntry& b) {
-  return a.score > b.score || (a.score == b.score && a.index < b.index);
-}
+/// topKBetter (engine.hpp) is the candidate order brute force sorts by,
+/// so pruned and unpruned runs return identical results.
+const auto better = topKBetter;
 
 /// Raise `floor` to at least `v` (atomic max; relaxed is enough — the
 /// floor is a monotone lower bound used only to skip provably losing rows).

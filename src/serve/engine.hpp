@@ -61,20 +61,49 @@ struct TopKResult {
   TopKStats stats;
 };
 
-class Engine {
+/// Total order on top-k candidates: higher score wins, ties go to the
+/// lower index. Both the single engine and the sharded scatter/gather
+/// merge sort by it, which is what makes their results bit-identical.
+inline bool topKBetter(const TopKEntry& a, const TopKEntry& b) {
+  return a.score > b.score || (a.score == b.score && a.index < b.index);
+}
+
+/// What the Batcher dispatches against: one Engine process or a
+/// ShardedEngine fanning out over replicated shards. Implementations must
+/// answer topK() exactly (the same entries a brute-force scan would rank)
+/// and be safe to call concurrently.
+class TopKProvider {
+ public:
+  virtual ~TopKProvider() = default;
+
+  virtual ModeId order() const = 0;
+  virtual const std::vector<Index>& dims() const = 0;
+  virtual double predict(const std::vector<Index>& indices) const = 0;
+  virtual TopKResult topK(ModeId mode, const std::vector<Index>& fixed,
+                          std::size_t k, const TopKOptions& opts = {}) const = 0;
+
+  /// Called by the Batcher after dispatching batch `batchesDispatched`
+  /// (1-based). Providers that model time-driven faults (a FaultPlan keyed
+  /// on batch boundaries) apply them here; the default is a no-op.
+  virtual void noteBatchBoundary(std::uint64_t batchesDispatched) const {
+    (void)batchesDispatched;
+  }
+};
+
+class Engine : public TopKProvider {
  public:
   /// `threads == 0` sizes the pool to the hardware. All query methods are
   /// const and safe to call concurrently.
   explicit Engine(CpModel model, std::size_t threads = 0);
 
-  ModeId order() const { return static_cast<ModeId>(dims_.size()); }
+  ModeId order() const override { return static_cast<ModeId>(dims_.size()); }
   std::size_t rank() const { return rank_; }
-  const std::vector<Index>& dims() const { return dims_; }
+  const std::vector<Index>& dims() const override { return dims_; }
   const std::vector<double>& lambda() const { return lambda_; }
   double finalFit() const { return finalFit_; }
 
   /// Reconstruct one cell; `indices` holds one index per mode.
-  double predict(const std::vector<Index>& indices) const;
+  double predict(const std::vector<Index>& indices) const override;
 
   /// Reconstruct a batch of cells; processed in blocks (parallel across
   /// the pool for large batches) with results in input order, identical to
@@ -86,7 +115,7 @@ class Engine {
   /// entry at `mode` is ignored); returns the k rows of that mode with the
   /// highest reconstructed values.
   TopKResult topK(ModeId mode, const std::vector<Index>& fixed,
-                  std::size_t k, const TopKOptions& opts = {}) const;
+                  std::size_t k, const TopKOptions& opts = {}) const override;
 
  private:
   double predictOne(const Index* idx) const;

@@ -1,0 +1,410 @@
+#include "serve/sharded_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "cstf/skew.hpp"
+
+namespace cstf::serve {
+
+namespace {
+
+/// Raise `floor` to at least `v` (atomic max, relaxed — the floor is a
+/// monotone lower bound used only to skip provably losing rows).
+void raiseFloor(std::atomic<double>& floor, double v) {
+  double cur = floor.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !floor.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+LoadHints servingLoadHints(const cstf_core::SkewPlan& plan) {
+  LoadHints hints(plan.modes.size());
+  for (std::size_t m = 0; m < plan.modes.size(); ++m) {
+    hints[m] = plan.modes[m].heavyKeys;
+  }
+  return hints;
+}
+
+ShardedEngine::ShardedEngine(CpModel model, ShardedEngineOptions opts)
+    : rank_(model.rank),
+      dims_(std::move(model.dims)),
+      backoffMicros_(opts.backoffMicros),
+      maxFailoverRounds_(std::max(1, opts.maxFailoverRounds)),
+      faults_(std::move(opts.faults)),
+      pool_(opts.threads) {
+  CSTF_CHECK(dims_.size() >= 2, "serving needs a model of order >= 2");
+  CSTF_CHECK(model.factors.size() == dims_.size(),
+             "model needs one factor per mode");
+  CSTF_CHECK(model.lambda.size() == rank_ && rank_ >= 1,
+             "model lambda must have one finite weight per rank component");
+  for (const double l : model.lambda) {
+    CSTF_CHECK(std::isfinite(l), "model lambda must be finite for serving");
+  }
+  for (ModeId m = 0; m < order(); ++m) {
+    CSTF_CHECK(model.factors[m].rows() == dims_[m] &&
+                   model.factors[m].cols() == rank_,
+               "model factor shape does not match dims/rank");
+  }
+  CSTF_CHECK(opts.numShards >= 1, "sharded serving needs >= 1 shard");
+
+  numShards_ = opts.numShards;
+  numNodes_ = opts.numNodes == 0 ? numShards_ : opts.numNodes;
+  const std::size_t baseReplicas =
+      std::min(std::max<std::size_t>(1, opts.numReplicas), numNodes_);
+
+  // Hot-shard promotion: fold each mode's hinted heavy-row weights onto the
+  // shard that owns the row; shards loaded past hotShardFactor x the mean
+  // get one extra replica (capped by the node count).
+  std::vector<std::uint64_t> load(numShards_, 0);
+  std::uint64_t totalLoad = 0;
+  for (ModeId m = 0;
+       m < order() && static_cast<std::size_t>(m) < opts.loadHints.size();
+       ++m) {
+    for (const auto& [row, weight] : opts.loadHints[m]) {
+      if (row >= dims_[m]) continue;
+      load[row % numShards_] += weight;
+      totalLoad += weight;
+    }
+  }
+  replicas_.assign(numShards_, baseReplicas);
+  if (opts.hotShardFactor > 0.0 && totalLoad > 0) {
+    const double mean =
+        static_cast<double>(totalLoad) / static_cast<double>(numShards_);
+    for (std::size_t s = 0; s < numShards_; ++s) {
+      if (static_cast<double>(load[s]) >= opts.hotShardFactor * mean) {
+        replicas_[s] = std::min(numNodes_, baseReplicas + 1);
+        if (replicas_[s] > baseReplicas) ++hotShards_;
+      }
+    }
+  }
+
+  nodeDead_ = std::make_unique<std::atomic<bool>[]>(numNodes_);
+  for (std::size_t n = 0; n < numNodes_; ++n) {
+    nodeDead_[n].store(false, std::memory_order_relaxed);
+  }
+
+  // Distribute rows: shard s owns global rows {s, s+S, s+2S, ...} of every
+  // mode, with lambda folded into mode 0 exactly as Engine does, so scores
+  // computed from shard rows are bit-identical to the single engine's.
+  shards_.resize(numShards_);
+  for (std::size_t s = 0; s < numShards_; ++s) {
+    shards_[s].modes.resize(order());
+    for (ModeId m = 0; m < order(); ++m) {
+      const la::Matrix& src = model.factors[m];
+      const std::size_t dim = dims_[m];
+      const std::size_t localRows =
+          dim > s ? (dim - s - 1) / numShards_ + 1 : 0;
+      ShardMode& sm = shards_[s].modes[m];
+      sm.rows = la::Matrix(localRows, rank_);
+      sm.norm.resize(localRows);
+      for (std::size_t local = 0; local < localRows; ++local) {
+        const std::size_t global = local * numShards_ + s;
+        const double* in = src.row(global);
+        double* out = sm.rows.row(local);
+        double sq = 0.0;
+        for (std::size_t r = 0; r < rank_; ++r) {
+          const double v = m == 0 ? model.lambda[r] * in[r] : in[r];
+          out[r] = v;
+          sq += v * v;
+        }
+        sm.norm[local] = std::sqrt(sq);
+      }
+      sm.visit.resize(localRows);
+      std::iota(sm.visit.begin(), sm.visit.end(), Index{0});
+      // Norm descending, global index (monotone in local) ascending on
+      // ties — the same visit discipline as the single engine.
+      std::sort(sm.visit.begin(), sm.visit.end(),
+                [&sm](Index a, Index b) {
+                  return sm.norm[a] > sm.norm[b] ||
+                         (sm.norm[a] == sm.norm[b] && a < b);
+                });
+    }
+  }
+
+  bindLiveInstruments(opts.liveMetrics);
+}
+
+void ShardedEngine::bindLiveInstruments(metrics::Registry* reg) {
+  if (reg == nullptr) return;
+  live_.shards = &reg->gauge("serve_shards");
+  live_.replicasTotal = &reg->gauge("serve_replicas_total");
+  live_.nodesDead = &reg->gauge("serve_nodes_dead");
+  live_.failoverTotal = &reg->counter("serve_failover_total");
+  live_.shardLostTotal = &reg->counter("serve_shard_lost_total");
+  live_.shardQueriesTotal.resize(numShards_);
+  std::size_t totalReplicas = 0;
+  for (std::size_t s = 0; s < numShards_; ++s) {
+    totalReplicas += replicas_[s];
+    live_.shardQueriesTotal[s] = &reg->counter(
+        "serve_shard_queries_total", {{"shard", std::to_string(s)}});
+  }
+  live_.shards->set(static_cast<double>(numShards_));
+  live_.replicasTotal->set(static_cast<double>(totalReplicas));
+  live_.nodesDead->set(0.0);
+}
+
+bool ShardedEngine::nodeAlive(int node) const {
+  CSTF_CHECK(node >= 0 && static_cast<std::size_t>(node) < numNodes_,
+             "node id out of range");
+  return !nodeDead_[node].load(std::memory_order_relaxed);
+}
+
+void ShardedEngine::killNode(int node) const {
+  CSTF_CHECK(node >= 0 && static_cast<std::size_t>(node) < numNodes_,
+             "node id out of range");
+  if (nodeDead_[node].exchange(true, std::memory_order_relaxed)) return;
+  nodesKilled_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t copiesLost = 0;
+  std::size_t deadNodes = 0;
+  for (std::size_t s = 0; s < numShards_; ++s) {
+    for (std::size_t c = 0; c < replicas_[s]; ++c) {
+      if (nodeOfCopy(s, c) == node) ++copiesLost;
+    }
+  }
+  for (std::size_t n = 0; n < numNodes_; ++n) {
+    if (nodeDead_[n].load(std::memory_order_relaxed)) ++deadNodes;
+  }
+  if (live_.shardLostTotal != nullptr) live_.shardLostTotal->add(copiesLost);
+  if (live_.nodesDead != nullptr) {
+    live_.nodesDead->set(static_cast<double>(deadNodes));
+  }
+}
+
+void ShardedEngine::reviveNode(int node) const {
+  CSTF_CHECK(node >= 0 && static_cast<std::size_t>(node) < numNodes_,
+             "node id out of range");
+  nodeDead_[node].store(false, std::memory_order_relaxed);
+  if (live_.nodesDead != nullptr) {
+    std::size_t deadNodes = 0;
+    for (std::size_t n = 0; n < numNodes_; ++n) {
+      if (nodeDead_[n].load(std::memory_order_relaxed)) ++deadNodes;
+    }
+    live_.nodesDead->set(static_cast<double>(deadNodes));
+  }
+}
+
+void ShardedEngine::noteBatchBoundary(std::uint64_t batchesDispatched) const {
+  if (faults_.schedule.empty()) return;
+  const int victim = faults_.scheduledLossFor(batchesDispatched,
+                                              static_cast<int>(numNodes_));
+  if (victim >= 0) killNode(victim);
+}
+
+const double* ShardedEngine::fetchRow(ModeId mode, Index i) const {
+  const std::size_t s = i % numShards_;
+  // Copies share the row data; what a dead node takes down is its copies'
+  // availability, so a fetch just needs one alive replica.
+  for (std::size_t c = 0; c < replicas_[s]; ++c) {
+    if (!nodeDead_[nodeOfCopy(s, c)].load(std::memory_order_relaxed)) {
+      return shards_[s].modes[mode].rows.row(i / numShards_);
+    }
+  }
+  shedUnavailable_.fetch_add(1, std::memory_order_relaxed);
+  throw ShedError(strprintf(
+      "shard %zu unavailable: all %zu replicas down (mode %d row %llu)", s,
+      replicas_[s], int(mode) + 1,
+      static_cast<unsigned long long>(i)));
+}
+
+void ShardedEngine::validateQuery(const std::vector<Index>& indices) const {
+  CSTF_CHECK(indices.size() == dims_.size(),
+             "query needs one index per mode");
+  for (ModeId m = 0; m < order(); ++m) {
+    CSTF_CHECK(indices[m] < dims_[m],
+               strprintf("query index out of range for mode %d", int(m) + 1));
+  }
+}
+
+double ShardedEngine::predict(const std::vector<Index>& indices) const {
+  validateQuery(indices);
+  const ModeId n = order();
+  const double* rows[kMaxOrder];
+  for (ModeId m = 0; m < n; ++m) rows[m] = fetchRow(m, indices[m]);
+  // Same accumulation order as Engine::predictOne (lambda and the mode-0
+  // entry are pre-multiplied in the shard rows), so results match bit for
+  // bit.
+  double cell = 0.0;
+  for (std::size_t r = 0; r < rank_; ++r) {
+    double prod = rows[0][r];
+    for (ModeId m = 1; m < n; ++m) prod *= rows[m][r];
+    cell += prod;
+  }
+  return cell;
+}
+
+std::optional<std::vector<TopKEntry>> ShardedEngine::scanCopy(
+    std::size_t s, int node, ModeId mode, const std::vector<double>& w,
+    double wNorm, std::size_t k, const TopKOptions& opts,
+    std::atomic<double>& sharedFloor, TopKStats& st) const {
+  const ShardMode& sm = shards_[s].modes[mode];
+  const std::size_t localRows = sm.rows.rows();
+  // A shard holding fewer than k rows may contribute all of them to the
+  // global top-k, so its heap keeps everything and never raises the shared
+  // floor; only a heap of k globally-valid candidates bounds the k-th best.
+  const std::size_t cap = std::min(k, localRows);
+  std::vector<TopKEntry> heap;
+  heap.reserve(cap);
+  double floor = sharedFloor.load(std::memory_order_relaxed);
+  for (std::size_t p = 0; p < localRows; ++p) {
+    if ((p & 15u) == 0) {
+      // Poll the serving node: a mid-scan death aborts this sub-query and
+      // the caller retries on another replica (partial stats stay counted
+      // — the work really happened).
+      if (nodeDead_[node].load(std::memory_order_relaxed)) return std::nullopt;
+      floor = std::max(floor, sharedFloor.load(std::memory_order_relaxed));
+    }
+    const Index local = sm.visit[p];
+    if (opts.prune && sm.norm[local] * wNorm < floor) {
+      // Norm-descending visit order: every later row is bounded lower too.
+      st.rowsPruned += localRows - p;
+      break;
+    }
+    ++st.rowsScanned;
+    const double* row = sm.rows.row(local);
+    double score = 0.0;
+    for (std::size_t r = 0; r < rank_; ++r) score += w[r] * row[r];
+    const TopKEntry e{static_cast<Index>(local * numShards_ + s), score};
+    if (heap.size() < cap) {
+      heap.push_back(e);
+      std::push_heap(heap.begin(), heap.end(), topKBetter);
+    } else if (topKBetter(e, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), topKBetter);
+      heap.back() = e;
+      std::push_heap(heap.begin(), heap.end(), topKBetter);
+    } else {
+      continue;  // heap unchanged; floor cannot have risen
+    }
+    if (heap.size() == k) {
+      const double worst = heap.front().score;
+      floor = std::max(floor, worst);
+      raiseFloor(sharedFloor, worst);
+    }
+  }
+  return heap;
+}
+
+std::vector<TopKEntry> ShardedEngine::shardTopK(
+    std::size_t s, ModeId mode, const std::vector<double>& w, double wNorm,
+    std::size_t k, const TopKOptions& opts, std::atomic<double>& sharedFloor,
+    TopKStats& st) const {
+  if (shards_[s].modes[mode].rows.rows() == 0) return {};
+  bool deviated = false;
+  int attempt = 0;
+  for (int round = 0; round < maxFailoverRounds_; ++round) {
+    for (std::size_t c = 0; c < replicas_[s]; ++c) {
+      const int node = nodeOfCopy(s, c);
+      if (nodeDead_[node].load(std::memory_order_relaxed)) {
+        deviated = true;
+        continue;
+      }
+      if (deviated) {
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        if (live_.failoverTotal != nullptr) live_.failoverTotal->add();
+        if (backoffMicros_ > 0 && attempt > 0) {
+          const std::uint64_t shift = std::min(attempt - 1, 3);
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(backoffMicros_ << shift));
+        }
+      }
+      ++attempt;
+      auto out = scanCopy(s, node, mode, w, wNorm, k, opts, sharedFloor, st);
+      if (out.has_value()) {
+        shardQueries_.fetch_add(1, std::memory_order_relaxed);
+        if (live_.shardQueriesTotal.size() > s &&
+            live_.shardQueriesTotal[s] != nullptr) {
+          live_.shardQueriesTotal[s]->add();
+        }
+        return std::move(*out);
+      }
+      deviated = true;
+    }
+  }
+  shedUnavailable_.fetch_add(1, std::memory_order_relaxed);
+  throw ShedError(strprintf("shard %zu unavailable: all %zu replicas down",
+                            s, replicas_[s]));
+}
+
+TopKResult ShardedEngine::topK(ModeId mode, const std::vector<Index>& fixed,
+                               std::size_t k, const TopKOptions& opts) const {
+  CSTF_CHECK(mode < order(), "top-k mode out of range");
+  CSTF_CHECK(fixed.size() == dims_.size(),
+             "top-k needs one fixed index per mode (free mode ignored)");
+  CSTF_CHECK(k >= 1, "top-k needs k >= 1");
+  for (ModeId m = 0; m < order(); ++m) {
+    if (m == mode) continue;
+    CSTF_CHECK(fixed[m] < dims_[m],
+               strprintf("fixed index out of range for mode %d", int(m) + 1));
+  }
+
+  // Query vector: Hadamard of the fixed modes' rows in ascending mode
+  // order, first copy then multiply — Engine::topK's exact recipe, over
+  // the exact same row data, so w (and every score below) matches bit for
+  // bit.
+  std::vector<double> w(rank_);
+  bool first = true;
+  for (ModeId m = 0; m < order(); ++m) {
+    if (m == mode) continue;
+    const double* row = fetchRow(m, fixed[m]);
+    if (first) {
+      std::copy(row, row + rank_, w.begin());
+      first = false;
+    } else {
+      for (std::size_t r = 0; r < rank_; ++r) w[r] *= row[r];
+    }
+  }
+  double wNormSq = 0.0;
+  for (const double v : w) wNormSq += v * v;
+  const double wNorm = std::sqrt(wNormSq);
+
+  const std::size_t kk = std::min<std::size_t>(k, dims_[mode]);
+  std::atomic<double> sharedFloor{-std::numeric_limits<double>::infinity()};
+  std::vector<std::vector<TopKEntry>> kept(numShards_);
+  std::vector<TopKStats> stats(numShards_);
+  // Scatter: one sub-query per shard; the pool rethrows the first ShedError
+  // after all shards finish, so a lost shard fails the query loudly rather
+  // than returning a silently incomplete merge.
+  pool_.parallelFor(numShards_, [&](std::size_t s) {
+    kept[s] = shardTopK(s, mode, w, wNorm, k, opts, sharedFloor, stats[s]);
+  });
+
+  // Gather: each shard's kept set contains every shard member of the global
+  // top-k, so merging with the engine's comparator and truncating to
+  // min(k, rows) reproduces Engine::topK exactly.
+  TopKResult res;
+  for (std::size_t s = 0; s < numShards_; ++s) {
+    res.entries.insert(res.entries.end(), kept[s].begin(), kept[s].end());
+    res.stats.rowsScanned += stats[s].rowsScanned;
+    res.stats.rowsPruned += stats[s].rowsPruned;
+  }
+  std::sort(res.entries.begin(), res.entries.end(), topKBetter);
+  if (res.entries.size() > kk) res.entries.resize(kk);
+  return res;
+}
+
+ShardedStats ShardedEngine::stats() const {
+  ShardedStats st;
+  st.shards = numShards_;
+  st.nodes = numNodes_;
+  st.totalReplicas =
+      std::accumulate(replicas_.begin(), replicas_.end(), std::size_t{0});
+  st.hotShards = hotShards_;
+  for (std::size_t n = 0; n < numNodes_; ++n) {
+    if (nodeDead_[n].load(std::memory_order_relaxed)) ++st.deadNodes;
+  }
+  st.shardQueries = shardQueries_.load(std::memory_order_relaxed);
+  st.failovers = failovers_.load(std::memory_order_relaxed);
+  st.shedUnavailable = shedUnavailable_.load(std::memory_order_relaxed);
+  st.nodesKilled = nodesKilled_.load(std::memory_order_relaxed);
+  return st;
+}
+
+}  // namespace cstf::serve

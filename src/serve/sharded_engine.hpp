@@ -1,0 +1,201 @@
+// Sharded serving fabric: the factor model split row-wise across shards,
+// each shard replicated onto simulated nodes, with scatter/gather top-k
+// that stays bit-identical to the single-process Engine.
+//
+// Layout: row i of every mode belongs to shard i mod S (local position
+// i div S), and copy c of shard s lives on node (s + c) mod N — chained
+// declustering, so no two shards share a full replica set and one node
+// death costs at most one copy of any shard. Hot shards — those owning a
+// disproportionate share of the PR-3 frequency census's heavy rows — get
+// one extra replica, because skewed request streams hammer the shards that
+// own the hot rows just as skewed tensors hammer the partitions that own
+// the hot keys.
+//
+// A top-k query scatters one sub-query per shard (norm-descending scan
+// with Cauchy-Schwarz pruning against a floor shared across shards — a
+// shard only raises the floor once it holds k candidates, so pruning stays
+// exact) and gathers by merging with the same (score desc, index asc)
+// comparator the Engine sorts by. Scores are dot products over the same
+// row data in the same accumulation order, so the gathered entries are
+// bit-identical to Engine::topK on the unsharded model.
+//
+// Failure model: killNode() (or a sparkle::FaultPlan applied at batch
+// boundaries via noteBatchBoundary) marks a node dead. Sub-queries poll
+// the serving node's liveness as they scan; a mid-scan death aborts the
+// sub-query, which retries on the next alive replica after a bounded
+// backoff — the data is immutable, so a retried scan returns exactly what
+// the aborted one would have. Only when every replica of a shard is down
+// does the query shed with a typed ShedError; it is counted, never lost,
+// never wrong.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/metrics_registry.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "la/matrix.hpp"
+#include "serve/engine.hpp"
+#include "serve/model.hpp"
+#include "sparkle/cluster.hpp"
+
+namespace cstf::cstf_core {
+struct SkewPlan;
+}
+
+namespace cstf::serve {
+
+/// Per-mode (row, estimated request weight) heavy hitters driving
+/// hot-shard replication; outer index is the mode.
+using LoadHints = std::vector<std::vector<std::pair<Index, std::uint64_t>>>;
+
+/// Flatten a PR-3 skew census into serving load hints: each mode's heavy
+/// keys become that mode's heavy rows (a row requested often is exactly a
+/// key that appears often).
+LoadHints servingLoadHints(const cstf_core::SkewPlan& plan);
+
+struct ShardedEngineOptions {
+  /// Row-wise shards (row i of every mode lives on shard i mod numShards).
+  std::size_t numShards = 1;
+  /// Base copies per shard; 1 = unreplicated. Capped at numNodes.
+  std::size_t numReplicas = 1;
+  /// Nodes in the serving fabric; 0 places one shard per node.
+  std::size_t numNodes = 0;
+  /// A shard whose hinted load reaches hotShardFactor times the mean shard
+  /// load gets one extra replica; <= 0 disables promotion.
+  double hotShardFactor = 2.0;
+  /// Heavy-row weights (see servingLoadHints); empty = no promotion.
+  LoadHints loadHints;
+  /// Deterministic node loss applied at batch boundaries: stage =
+  /// dispatched batch index (the serving-tier reuse of the shuffle
+  /// engine's FaultPlan). Only scheduled events fire here; rate-driven
+  /// loss stays a shuffle-engine behaviour.
+  sparkle::FaultPlan faults;
+  /// Base wall-clock backoff before retrying a sub-query on another
+  /// replica; doubles per retry (capped at 8x).
+  std::uint64_t backoffMicros = 50;
+  /// Full passes over a shard's replica chain before shedding.
+  int maxFailoverRounds = 2;
+  /// Scatter pool width; 0 sizes to the hardware.
+  std::size_t threads = 0;
+  /// Instrument sink; nullptr disables live metrics.
+  metrics::Registry* liveMetrics = &metrics::globalRegistry();
+};
+
+/// Point-in-time snapshot for reports and tests.
+struct ShardedStats {
+  std::size_t shards = 0;
+  std::size_t nodes = 0;
+  std::size_t totalReplicas = 0;
+  /// Shards promoted to an extra replica by the load hints.
+  std::size_t hotShards = 0;
+  std::size_t deadNodes = 0;
+  /// Per-shard sub-queries that completed (including after failover).
+  std::uint64_t shardQueries = 0;
+  /// Sub-query attempts served off the first-choice replica.
+  std::uint64_t failovers = 0;
+  /// Sub-queries shed because every replica of their shard was down.
+  std::uint64_t shedUnavailable = 0;
+  std::uint64_t nodesKilled = 0;
+};
+
+class ShardedEngine : public TopKProvider {
+ public:
+  explicit ShardedEngine(CpModel model, ShardedEngineOptions opts = {});
+
+  ModeId order() const override { return static_cast<ModeId>(dims_.size()); }
+  std::size_t rank() const { return rank_; }
+  const std::vector<Index>& dims() const override { return dims_; }
+
+  std::size_t numShards() const { return numShards_; }
+  std::size_t numNodes() const { return numNodes_; }
+  std::size_t replicasOf(std::size_t shard) const {
+    return replicas_[shard];
+  }
+  /// Chained declustering placement: copy c of shard s -> node (s+c) mod N.
+  int nodeOfCopy(std::size_t shard, std::size_t copy) const {
+    return static_cast<int>((shard + copy) % numNodes_);
+  }
+  bool nodeAlive(int node) const;
+
+  /// Fault injection: the fabric is logically const to queries, so kills
+  /// are too (noteBatchBoundary fires them from the dispatch path).
+  void killNode(int node) const;
+  void reviveNode(int node) const;
+
+  double predict(const std::vector<Index>& indices) const override;
+
+  /// Scatter/gather top-k; bit-identical entries to Engine::topK on the
+  /// same model. Throws ShedError when a required shard has no replica
+  /// alive. Stats aggregate real work across shards and retries.
+  TopKResult topK(ModeId mode, const std::vector<Index>& fixed,
+                  std::size_t k, const TopKOptions& opts = {}) const override;
+
+  /// Applies the fault plan's scheduled kills for stage = batch index.
+  void noteBatchBoundary(std::uint64_t batchesDispatched) const override;
+
+  ShardedStats stats() const;
+
+ private:
+  /// One mode's slice of one shard: the owned rows (lambda folded into
+  /// mode 0, same as Engine), their norms, and a norm-descending visit
+  /// order over local positions (global index = local * S + shard).
+  struct ShardMode {
+    la::Matrix rows;
+    std::vector<double> norm;
+    std::vector<Index> visit;
+  };
+  struct Shard {
+    std::vector<ShardMode> modes;
+  };
+
+  const double* fetchRow(ModeId mode, Index i) const;
+  std::vector<TopKEntry> shardTopK(std::size_t s, ModeId mode,
+                                   const std::vector<double>& w, double wNorm,
+                                   std::size_t k, const TopKOptions& opts,
+                                   std::atomic<double>& sharedFloor,
+                                   TopKStats& st) const;
+  std::optional<std::vector<TopKEntry>> scanCopy(
+      std::size_t s, int node, ModeId mode, const std::vector<double>& w,
+      double wNorm, std::size_t k, const TopKOptions& opts,
+      std::atomic<double>& sharedFloor, TopKStats& st) const;
+  void validateQuery(const std::vector<Index>& indices) const;
+  void bindLiveInstruments(metrics::Registry* reg);
+
+  std::size_t rank_ = 0;
+  std::vector<Index> dims_;
+  std::size_t numShards_ = 1;
+  std::size_t numNodes_ = 1;
+  std::vector<std::size_t> replicas_;
+  std::size_t hotShards_ = 0;
+  std::uint64_t backoffMicros_ = 0;
+  int maxFailoverRounds_ = 1;
+  sparkle::FaultPlan faults_;
+  std::vector<Shard> shards_;
+  /// Liveness per node; mutable because fault injection happens on the
+  /// (const) query path.
+  std::unique_ptr<std::atomic<bool>[]> nodeDead_;
+  mutable std::atomic<std::uint64_t> shardQueries_{0};
+  mutable std::atomic<std::uint64_t> failovers_{0};
+  mutable std::atomic<std::uint64_t> shedUnavailable_{0};
+  mutable std::atomic<std::uint64_t> nodesKilled_{0};
+  mutable ThreadPool pool_;
+
+  struct LiveInstruments {
+    metrics::Gauge* shards = nullptr;
+    metrics::Gauge* replicasTotal = nullptr;
+    metrics::Gauge* nodesDead = nullptr;
+    metrics::Counter* failoverTotal = nullptr;
+    metrics::Counter* shardLostTotal = nullptr;
+    std::vector<metrics::Counter*> shardQueriesTotal;
+  };
+  LiveInstruments live_;
+};
+
+}  // namespace cstf::serve

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "sparkle/local_kernel.hpp"
 #include "sparkle/partitioner.hpp"
 
@@ -60,6 +61,33 @@ struct FaultPlan {
   bool allowEnvChaos = true;
 
   bool enabled() const { return nodeLossRate > 0.0 || !schedule.empty(); }
+
+  /// Scheduled node death for `stage`: the dead node's id normalized into
+  /// [0, numNodes), or -1 when nothing is scheduled there. Callers fire
+  /// this on the first attempt of a stage only (a re-run of the same stage
+  /// does not re-fire the event). Shared by the shuffle engine (stage =
+  /// shuffle stage id) and the serving tier (stage = dispatched batch
+  /// index), so one plan drives deterministic loss in either layer.
+  int scheduledLossFor(std::uint64_t stage, int numNodes) const {
+    for (const NodeLossEvent& ev : schedule) {
+      if (ev.afterStage == stage) {
+        return ((ev.node % numNodes) + numNodes) % numNodes;
+      }
+    }
+    return -1;
+  }
+
+  /// Rate-driven loss draw for (stage, attempt): a pure function of the
+  /// plan's seed, so fault-injected runs reproduce. Returns the dead
+  /// node's id or -1 for no loss.
+  int rateDrivenLoss(std::uint64_t stage, int attempt, int numNodes) const {
+    if (nodeLossRate <= 0.0) return -1;
+    const std::uint64_t h =
+        mix64(mix64(seed ^ stage * 0x9e3779b97f4a7c15ULL) +
+              static_cast<std::uint64_t>(attempt));
+    if (static_cast<double>(h >> 11) * 0x1.0p-53 >= nodeLossRate) return -1;
+    return static_cast<int>(mix64(h) % static_cast<std::uint64_t>(numNodes));
+  }
 };
 
 /// Which framework behaviour the engine emulates.

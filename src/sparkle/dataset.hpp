@@ -55,19 +55,11 @@ inline int injectNodeLoss(const ClusterConfig& cfg, std::uint64_t stageId,
                           int attempt, bool allowRate) {
   const FaultPlan& fp = cfg.faults;
   if (attempt == 0) {
-    for (const NodeLossEvent& ev : fp.schedule) {
-      if (ev.afterStage == stageId) {
-        return ((ev.node % cfg.numNodes) + cfg.numNodes) % cfg.numNodes;
-      }
-    }
+    const int scheduled = fp.scheduledLossFor(stageId, cfg.numNodes);
+    if (scheduled >= 0) return scheduled;
   }
-  if (!allowRate || fp.nodeLossRate <= 0.0) return -1;
-  const std::uint64_t h =
-      mix64(mix64(fp.seed ^ stageId * 0x9e3779b97f4a7c15ULL) +
-            static_cast<std::uint64_t>(attempt));
-  if (static_cast<double>(h >> 11) * 0x1.0p-53 >= fp.nodeLossRate) return -1;
-  return static_cast<int>(mix64(h) %
-                          static_cast<std::uint64_t>(cfg.numNodes));
+  if (!allowRate) return -1;
+  return fp.rateDrivenLoss(stageId, attempt, cfg.numNodes);
 }
 
 /// Run one task body with Spark-style fault tolerance: a failed attempt

@@ -1,15 +1,20 @@
 // Micro-batcher: full-batch and deadline flushes, duplicate coalescing,
-// cross-batch caching, reload invalidation, error propagation, and a
-// concurrency stress that TSan watches in CI.
+// cross-batch caching, reload invalidation, error propagation, admission
+// control and deadline shedding, dispatcher-death draining, and
+// concurrency/chaos stresses (including a mid-batch shard kill) that TSan
+// watches in CI.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "serve/batcher.hpp"
+#include "serve/sharded_engine.hpp"
 
 namespace cstf::serve {
 namespace {
@@ -178,6 +183,195 @@ TEST(Batcher, PendingRequestsDrainOnShutdown) {
     // Destructor must flush the queue rather than abandon the promises.
   }
   for (auto& f : futs) ASSERT_NE(f.get(), nullptr);
+}
+
+TEST(Batcher, FullAdmissionQueueShedsAtTheDoor) {
+  BatcherOptions opts;
+  opts.maxBatch = 100;              // never fills in-test
+  opts.maxDelayMicros = 5'000'000;  // requests sit in the queue
+  opts.queueLimit = 2;
+  Batcher b(makeEngine(20), opts);
+  auto f1 = b.submit(req(1, 1));
+  auto f2 = b.submit(req(2, 2));
+  auto shed = b.submit(req(3, 3));  // queue at limit: refused immediately
+  try {
+    shed.get();
+    FAIL() << "expected ShedError";
+  } catch (const ShedError& e) {
+    EXPECT_NE(std::string(e.what()).find("admission queue full"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("topk(mode=1"), std::string::npos);
+  }
+  const ServeStats s = b.stats();
+  EXPECT_EQ(s.submitted, 3u);
+  EXPECT_EQ(s.shedQueueFull, 1u);
+}
+
+TEST(Batcher, ExpiredRequestsAreShedAtDequeueWithTypedError) {
+  BatcherOptions opts;
+  opts.maxBatch = 100;
+  opts.maxDelayMicros = 20'000;  // flush happens well past the deadline
+  opts.deadlineMicros = 500;
+  Batcher b(makeEngine(21), opts);
+  auto f1 = b.submit(req(1, 1));
+  auto f2 = b.submit(req(2, 2));
+  try {
+    f1.get();
+    FAIL() << "expected DeadlineExceededError";
+  } catch (const DeadlineExceededError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("topk(mode=1"), std::string::npos);
+  }
+  EXPECT_THROW(f2.get(), DeadlineExceededError);
+  const ServeStats s = b.stats();
+  EXPECT_EQ(s.shedDeadline, 2u);
+  EXPECT_EQ(s.completed, 0u);
+}
+
+TEST(Batcher, PerSubmitDeadlineOverridesTheDefault) {
+  BatcherOptions opts;
+  opts.maxBatch = 100;
+  opts.maxDelayMicros = 20'000;
+  opts.deadlineMicros = 0;  // no default deadline
+  Batcher b(makeEngine(22), opts);
+  auto doomed = b.submit(req(1, 1), 500);  // explicit tight deadline
+  auto fine = b.submit(req(2, 2));
+  EXPECT_THROW(doomed.get(), DeadlineExceededError);
+  ASSERT_NE(fine.get(), nullptr);
+  const ServeStats s = b.stats();
+  EXPECT_EQ(s.shedDeadline, 1u);
+  EXPECT_EQ(s.completed, 1u);
+}
+
+TEST(Batcher, DispatcherDeathFailsEveryWaiterWithATypedError) {
+  BatcherOptions opts;
+  opts.maxBatch = 4;
+  opts.maxDelayMicros = 10'000'000;
+  opts.dispatcherFaultHook = [](std::uint64_t) {
+    throw std::runtime_error("injected dispatcher crash");
+  };
+  Batcher b(makeEngine(23), opts);
+  std::vector<std::future<Batcher::ResultPtr>> futs;
+  for (Index i = 0; i < 4; ++i) futs.push_back(b.submit(req(i, i)));
+  for (auto& f : futs) {
+    // Never a broken_promise: each waiter gets the typed error, and the
+    // message names its request.
+    try {
+      f.get();
+      FAIL() << "expected DeadlineExceededError";
+    } catch (const DeadlineExceededError& e) {
+      EXPECT_NE(std::string(e.what()).find("dispatcher died"),
+                std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("topk(mode=1"),
+                std::string::npos);
+    }
+  }
+  // The front door stays closed afterwards: submits shed immediately.
+  EXPECT_THROW(b.submit(req(9, 9)).get(), ShedError);
+  const ServeStats s = b.stats();
+  EXPECT_TRUE(s.dispatcherDead);
+  EXPECT_EQ(s.failed, 4u);
+  EXPECT_EQ(s.shedDispatcherDead, 1u);
+  EXPECT_EQ(s.completed, 0u);
+}
+
+TEST(Batcher, ShardLossMidStreamNeverLosesOrCorruptsAQuery) {
+  // Chaos: clients hammer a sharded, replicated provider while a node
+  // dies mid-stream. Every in-flight query must either complete with the
+  // exact single-engine answer (failover) or shed with a typed, counted
+  // error — never hang, never return a wrong result.
+  const CpModel model = randomModel({50, 20, 20}, 3, 30);
+  const Engine reference(CpModel(model), 2);
+  ShardedEngineOptions so;
+  so.numShards = 3;
+  so.numReplicas = 2;
+  so.backoffMicros = 0;
+  so.threads = 2;
+  so.liveMetrics = nullptr;
+  auto sharded = std::make_shared<const ShardedEngine>(CpModel(model), so);
+
+  BatcherOptions opts;
+  opts.maxBatch = 8;
+  opts.maxDelayMicros = 100;
+  opts.cacheCapacity = 0;  // every query exercises the fabric
+  opts.liveMetrics = nullptr;
+  Batcher b(sharded, opts);
+
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      Pcg32 rng(3000 + t);
+      for (int i = 0; i < 150; ++i) {
+        TopKRequest r = req(rng.nextBounded(20), rng.nextBounded(20));
+        try {
+          const auto res = b.submit(std::move(r)).get();
+          ASSERT_NE(res, nullptr);
+          ok.fetch_add(1);
+        } catch (const ShedError&) {
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread killer([&sharded] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    sharded->killNode(1);
+  });
+  for (auto& c : clients) c.join();
+  killer.join();
+
+  const ServeStats s = b.stats();
+  EXPECT_EQ(ok.load() + shed.load(), 3u * 150u);
+  EXPECT_EQ(s.submitted, 3u * 150u);
+  EXPECT_EQ(s.failed, 0u);
+  // Replication factor 2 with a single node loss: nothing sheds.
+  EXPECT_EQ(shed.load(), 0u);
+  EXPECT_EQ(s.shedUnavailable, 0u);
+  // Spot-check correctness after the loss: sharded answers (via failover)
+  // still match the reference engine bit for bit.
+  for (Index j = 0; j < 10; ++j) {
+    const TopKRequest r = req(j, j);
+    EXPECT_EQ(b.submit(r).get()->entries,
+              reference.topK(r.mode, r.fixed, r.k).entries);
+  }
+}
+
+TEST(Batcher, UnreplicatedShardLossIsCountedShedNotFailure) {
+  const CpModel model = randomModel({50, 20, 20}, 3, 31);
+  ShardedEngineOptions so;
+  so.numShards = 3;
+  so.numReplicas = 1;
+  so.backoffMicros = 0;
+  so.threads = 1;
+  so.liveMetrics = nullptr;
+  auto sharded = std::make_shared<const ShardedEngine>(CpModel(model), so);
+
+  BatcherOptions opts;
+  opts.maxBatch = 4;
+  opts.maxDelayMicros = 100;
+  opts.cacheCapacity = 0;
+  opts.liveMetrics = nullptr;
+  Batcher b(sharded, opts);
+
+  ASSERT_NE(b.submit(req(1, 1)).get(), nullptr);
+  sharded->killNode(1);
+  // Candidate scans scatter to every shard, so queries now shed — with a
+  // typed error and an accurate count, not a failure or a lost future.
+  std::uint64_t shed = 0;
+  for (Index j = 0; j < 5; ++j) {
+    try {
+      b.submit(req(j, j)).get();
+    } catch (const ShedError&) {
+      ++shed;
+    }
+  }
+  const ServeStats s = b.stats();
+  EXPECT_EQ(shed, 5u);
+  EXPECT_EQ(s.shedUnavailable, 5u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.completed, 6u);  // answered (value or typed shed), never lost
 }
 
 TEST(Batcher, ConcurrentClientsAndReloadsStayCoherent) {

@@ -192,8 +192,10 @@ def main():
     limit = 1.0 + args.threshold / 100.0
     regressions = []
     name_w = max(len(r[0]) for r in rows)
+    # Every row carries its signed delta vs baseline (after normalization),
+    # so passing counters show how much headroom is left, not just "ok".
     header = (f"{'benchmark':<{name_w}}  {'baseline':>12}  {'current':>12}  "
-              f"{'ratio':>7}  verdict")
+              f"{'ratio':>7}  {'delta':>8}  verdict")
     print(header)
     print("-" * len(header))
     for n, bs, cs, raw in rows:
@@ -204,7 +206,9 @@ def main():
             regressions.append((n, r))
         elif r < 1.0 / limit:
             verdict = "improved"
-        print(f"{n:<{name_w}}  {bs:>12}  {cs:>12}  {r:>6.2f}x  {verdict}")
+        delta = (r - 1.0) * 100.0
+        print(f"{n:<{name_w}}  {bs:>12}  {cs:>12}  {r:>6.2f}x  "
+              f"{delta:>+7.1f}%  {verdict}")
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "

@@ -56,15 +56,29 @@
 //   --top-k K       completions to return along the free mode (default 10)
 //   --brute-force   disable norm-bound pruning (same results, full scan)
 //
-// serve-bench options (closed-loop load generator over the micro-batcher):
+// serve-bench options (load generator over the micro-batcher):
 //   --model P, --top-k K, --brute-force as for query
 //   --mode M        free mode queried (default 0)
-//   --clients N     concurrent closed-loop clients (default 4)
+//   --clients N     concurrent clients / tenants (default 4)
 //   --requests N    total requests across all clients (default 2000)
 //   --distinct D    distinct request tuples in the workload (default 256)
 //   --zipf S        Zipf exponent for request popularity (default 1.1)
+//   --arrival-rate R open-loop arrival rate in requests/sec across all
+//                   clients; 0 (default) runs the closed loop, where each
+//                   client waits for its previous answer
 //   --max-batch B   batcher flush size (default: number of clients)
 //   --max-delay-micros U  batcher deadline (default 200)
+//   --queue-limit Q admission control: pending requests allowed before
+//                   submits shed with ShedError; 0 = unbounded (default)
+//   --deadline-us T per-request deadline; requests still queued after T
+//                   microseconds shed with DeadlineExceededError (default 0)
+//   --shards S      serve through a ShardedEngine with S row-wise shards
+//                   (0 = single-process engine, the default)
+//   --replicas R    copies per shard, placed by chained declustering;
+//                   hot shards (Zipf-census heavy rows) get one extra
+//   --kill-node N   fault injection: kill serving node N...
+//   --kill-after B  ...after dispatched batch B (default 1); replicated
+//                   shards fail over, unreplicated ones shed
 //   --cache-capacity C    result-cache entries, 0 disables (default 4096)
 //   --report-out P  also write the serve report JSON to P
 //   --metrics-out P / --metrics-interval-ms N  as for factor
@@ -95,6 +109,7 @@
 #include "serve/batcher.hpp"
 #include "serve/engine.hpp"
 #include "serve/model.hpp"
+#include "serve/sharded_engine.hpp"
 #include "tensor/generator.hpp"
 #include "tensor/io.hpp"
 #include "tensor/stats.hpp"
@@ -126,8 +141,12 @@ int usage() {
                "                   [--brute-force]\n"
                "       cstf serve-bench --model P [--mode M] [--top-k K]\n"
                "                   [--clients N] [--requests N] [--distinct D]\n"
-               "                   [--zipf S] [--max-batch B]\n"
-               "                   [--max-delay-micros U] [--cache-capacity C]\n"
+               "                   [--zipf S] [--arrival-rate R]\n"
+               "                   [--max-batch B] [--max-delay-micros U]\n"
+               "                   [--queue-limit Q] [--deadline-us T]\n"
+               "                   [--shards S] [--replicas R]\n"
+               "                   [--kill-node N] [--kill-after B]\n"
+               "                   [--cache-capacity C]\n"
                "                   [--seed S] [--report-out P] [--brute-force]\n"
                "                   [--metrics-out P] [--metrics-interval-ms N]\n"
                "                   [--slo-p99-us T]\n");
@@ -186,6 +205,14 @@ struct Args {
   std::size_t maxBatch = 0;  // 0: default to `clients`
   std::uint64_t maxDelayMicros = 200;
   std::size_t cacheCapacity = 4096;
+  // sharded serving / open-loop / fault injection
+  std::size_t shards = 0;  // 0: single-process engine
+  std::size_t replicas = 1;
+  std::size_t queueLimit = 0;
+  std::uint64_t deadlineUs = 0;
+  double arrivalRate = 0.0;  // requests/sec; 0: closed loop
+  int killNode = -1;         // <0: no injected node loss
+  std::uint64_t killAfter = 1;
   // live metrics / watchdogs
   std::string metricsOut;
   int metricsIntervalMs = 100;
@@ -371,6 +398,38 @@ bool parseArgs(int argc, char** argv, Args& a) {
     } else if (arg == "--cache-capacity") {
       if (!parseFlag("--cache-capacity", next("--cache-capacity"),
                      a.cacheCapacity, 0, kSizeMax)) {
+        return false;
+      }
+    } else if (arg == "--shards") {
+      if (!parseFlag("--shards", next("--shards"), a.shards, 0, kSizeMax)) {
+        return false;
+      }
+    } else if (arg == "--replicas") {
+      if (!parseFlag("--replicas", next("--replicas"), a.replicas, 1,
+                     kSizeMax)) {
+        return false;
+      }
+    } else if (arg == "--queue-limit") {
+      if (!parseFlag("--queue-limit", next("--queue-limit"), a.queueLimit, 0,
+                     kSizeMax)) {
+        return false;
+      }
+    } else if (arg == "--deadline-us") {
+      if (!parseFlag("--deadline-us", next("--deadline-us"), a.deadlineUs)) {
+        return false;
+      }
+    } else if (arg == "--arrival-rate") {
+      if (!parseFlag("--arrival-rate", next("--arrival-rate"), a.arrivalRate,
+                     0.0, kDoubleMax)) {
+        return false;
+      }
+    } else if (arg == "--kill-node") {
+      if (!parseFlag("--kill-node", next("--kill-node"), a.killNode, 0,
+                     kIntMax)) {
+        return false;
+      }
+    } else if (arg == "--kill-after") {
+      if (!parseFlag("--kill-after", next("--kill-after"), a.killAfter)) {
         return false;
       }
     } else if (arg == "--metrics-out") {
@@ -655,13 +714,17 @@ int cmdServeBench(const Args& a) {
     std::fprintf(stderr, "serve-bench needs --model\n");
     return 2;
   }
-  auto engine =
-      std::make_shared<const serve::Engine>(serve::loadModelAuto(a.model));
-  CSTF_CHECK(a.mode >= 0 && a.mode < engine->order(),
+  serve::CpModel model = serve::loadModelAuto(a.model);
+  const ModeId order = static_cast<ModeId>(model.dims.size());
+  const std::vector<Index> dims = model.dims;
+  CSTF_CHECK(a.mode >= 0 && a.mode < order,
              "--mode out of range for this model");
   const ModeId mode = static_cast<ModeId>(a.mode);
   CSTF_CHECK(a.clients >= 1 && a.requests >= 1 && a.distinct >= 1,
              "serve-bench needs at least one client, request, and tuple");
+  CSTF_CHECK(a.shards > 0 || a.replicas == 1,
+             "--replicas needs --shards");
+  CSTF_CHECK(a.shards > 0 || a.killNode < 0, "--kill-node needs --shards");
 
   // A fixed universe of request tuples with Zipf popularity: repeats are
   // what exercise coalescing and the result cache, mirroring the skewed
@@ -671,19 +734,50 @@ int cmdServeBench(const Args& a) {
   for (auto& req : universe) {
     req.mode = mode;
     req.k = a.topK;
-    req.fixed.assign(engine->order(), 0);
-    for (ModeId m = 0; m < engine->order(); ++m) {
-      if (m != mode) req.fixed[m] = rng.nextBounded(engine->dims()[m]);
+    req.fixed.assign(order, 0);
+    for (ModeId m = 0; m < order; ++m) {
+      if (m != mode) req.fixed[m] = rng.nextBounded(dims[m]);
     }
   }
   const ZipfSampler zipf(static_cast<std::uint32_t>(a.distinct), a.zipf);
+
+  // With --shards the model serves through a ShardedEngine; otherwise the
+  // single-process Engine. The Zipf law over the request universe doubles
+  // as the frequency census: each tuple's fixed rows carry its expected
+  // hit weight, so the shards owning the hot rows earn an extra replica.
+  std::shared_ptr<const serve::TopKProvider> provider;
+  std::shared_ptr<const serve::ShardedEngine> sharded;
+  if (a.shards > 0) {
+    serve::ShardedEngineOptions so;
+    so.numShards = a.shards;
+    so.numReplicas = a.replicas;
+    if (a.killNode >= 0) {
+      so.faults.schedule.push_back({a.killAfter, a.killNode});
+    }
+    so.loadHints.resize(order);
+    for (std::size_t u = 0; u < universe.size(); ++u) {
+      const auto weight = static_cast<std::uint64_t>(
+          1e9 / std::pow(static_cast<double>(u + 1), a.zipf));
+      if (weight == 0) continue;
+      for (ModeId m = 0; m < order; ++m) {
+        if (m != mode) so.loadHints[m].push_back({universe[u].fixed[m], weight});
+      }
+    }
+    sharded =
+        std::make_shared<const serve::ShardedEngine>(std::move(model), so);
+    provider = sharded;
+  } else {
+    provider = std::make_shared<const serve::Engine>(std::move(model));
+  }
 
   serve::BatcherOptions opts;
   opts.maxBatch = a.maxBatch ? a.maxBatch : a.clients;
   opts.maxDelayMicros = a.maxDelayMicros;
   opts.cacheCapacity = a.cacheCapacity;
   opts.sloP99Micros = a.sloP99Us;
-  serve::Batcher batcher(engine, opts);
+  opts.queueLimit = a.queueLimit;
+  opts.deadlineMicros = a.deadlineUs;
+  serve::Batcher batcher(provider, opts);
 
   std::unique_ptr<Heartbeat> heartbeat = makeHeartbeat(a);
   if (heartbeat) {
@@ -693,12 +787,24 @@ int cmdServeBench(const Args& a) {
 
   std::printf("serve-bench: %zu clients, %zu requests over %zu tuples "
               "(zipf %.2f), top-%zu along mode %d, maxBatch %zu, "
-              "delay %llu us, cache %zu\n",
+              "delay %llu us, cache %zu",
               a.clients, a.requests, a.distinct, a.zipf, a.topK, a.mode,
               opts.maxBatch,
               static_cast<unsigned long long>(opts.maxDelayMicros),
               opts.cacheCapacity);
+  if (a.shards > 0) {
+    std::printf(", %zu shards x %zu replicas", a.shards, a.replicas);
+  }
+  if (a.arrivalRate > 0.0) {
+    std::printf(", open loop at %.0f req/s", a.arrivalRate);
+  }
+  std::printf("\n");
 
+  // Closed loop (default): each client waits for its previous answer, so
+  // offered load self-throttles under pressure. Open loop
+  // (--arrival-rate): clients pace submissions on the wall clock no matter
+  // how the server is doing, which is what actually drives a server into
+  // admission control and deadline shedding.
   std::vector<std::thread> workers;
   workers.reserve(a.clients);
   for (std::size_t c = 0; c < a.clients; ++c) {
@@ -706,8 +812,38 @@ int cmdServeBench(const Args& a) {
         a.requests / a.clients + (c < a.requests % a.clients ? 1 : 0);
     workers.emplace_back([&, c, n] {
       Pcg32 crng(a.seed ^ mix64(c + 1));
+      if (a.arrivalRate <= 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          try {
+            batcher.submit(universe[zipf.sample(crng)]).get();
+          } catch (const ShedError&) {
+            // Counted by the batcher; the closed loop just moves on.
+          }
+        }
+        return;
+      }
+      const std::chrono::duration<double> gap(
+          static_cast<double>(a.clients) / a.arrivalRate);
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::future<std::shared_ptr<const serve::TopKResult>>>
+          inflight;
+      inflight.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        batcher.submit(universe[zipf.sample(crng)]).get();
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(gap * i));
+        try {
+          inflight.push_back(batcher.submit(universe[zipf.sample(crng)]));
+        } catch (const ShedError&) {
+          // Shed at the door (queue full / dispatcher dead); counted.
+        }
+      }
+      for (auto& f : inflight) {
+        try {
+          f.get();
+        } catch (const ShedError&) {
+          // Deadline or shard-unavailable shed; counted by the batcher.
+        }
       }
     });
   }
@@ -723,8 +859,19 @@ int cmdServeBench(const Args& a) {
   }
 
   const serve::ServeStats stats = batcher.stats();
-  const std::string report = serve::serveReportJson(stats);
+  serve::ShardedStats shardStats;
+  if (sharded) shardStats = sharded->stats();
+  const std::string report =
+      serve::serveReportJson(stats, sharded ? &shardStats : nullptr);
   std::printf("%s\n", report.c_str());
+  std::fprintf(stderr,
+               "served %llu of %llu (shed %llu, failed %llu, failovers "
+               "%llu)\n",
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.submitted),
+               static_cast<unsigned long long>(stats.shedTotal()),
+               static_cast<unsigned long long>(stats.failed),
+               static_cast<unsigned long long>(shardStats.failovers));
   if (heartbeat) heartbeat->stop();
   if (!a.reportOut.empty()) {
     if (!writeArtifact(a.reportOut, report, "serve report")) {
