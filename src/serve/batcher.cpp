@@ -46,7 +46,8 @@ std::string describeRequest(const TopKRequest& r) {
                    fixed.c_str());
 }
 
-std::string serveReportJson(const ServeStats& s, const ShardedStats* sharding) {
+std::string serveReportJson(const ServeStats& s, const ShardedStats* sharding,
+                            const FreshnessStats* freshness) {
   JsonWriter w;
   w.beginObject();
   w.kv("schema", "cstf-serve-report-v1");
@@ -81,6 +82,11 @@ std::string serveReportJson(const ServeStats& s, const ShardedStats* sharding) {
   histogramJson(w, s.batchSizes);
   w.endObject();
   w.kv("reloads", s.reloads);
+  w.key("model");
+  w.beginObject();
+  w.kv("version", s.modelVersion);
+  w.kv("seq", s.modelSeq);
+  w.endObject();
   w.key("latencyMicros");
   histogramJson(w, s.latencyMicros);
   if (s.sloP99TargetMicros > 0.0) {
@@ -104,6 +110,16 @@ std::string serveReportJson(const ServeStats& s, const ShardedStats* sharding) {
     w.kv("failovers", sharding->failovers);
     w.kv("shedUnavailable", sharding->shedUnavailable);
     w.kv("nodesKilled", sharding->nodesKilled);
+    w.endObject();
+  }
+  if (freshness != nullptr) {
+    w.key("freshness");
+    w.beginObject();
+    w.kv("publishes", freshness->publishes);
+    w.kv("deltasApplied", freshness->deltasApplied);
+    w.kv("newestSeq", freshness->newestSeq);
+    w.kv("stalenessSec", freshness->stalenessSec);
+    w.kv("lastFitProbe", freshness->lastFitProbe);
     w.endObject();
   }
   w.endObject();
@@ -151,6 +167,7 @@ void Batcher::bindLiveInstruments() {
   live_.sloRecoveries = &reg->counter("serve_slo_recoveries_total");
   live_.queueDepth = &reg->gauge("serve_queue_depth");
   live_.engineVersion = &reg->gauge("serve_engine_version");
+  live_.modelSeq = &reg->gauge("serve_model_seq");
   live_.cacheHitRatio = &reg->gauge("serve_cache_hit_ratio");
   live_.sloInBreach = &reg->gauge("serve_slo_in_breach");
   live_.sloWindowP99 = &reg->gauge("serve_slo_window_p99_micros");
@@ -250,11 +267,22 @@ std::future<Batcher::ResultPtr> Batcher::submit(TopKRequest req,
 }
 
 void Batcher::reload(std::shared_ptr<const TopKProvider> engine) {
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seq = modelSeq_;  // untagged swap keeps the previous tag
+  }
+  reload(std::move(engine), seq);
+}
+
+void Batcher::reload(std::shared_ptr<const TopKProvider> engine,
+                     std::uint64_t modelSeq) {
   CSTF_CHECK(engine != nullptr, "cannot reload a null engine");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     engine_ = std::move(engine);
     ++version_;
+    modelSeq_ = modelSeq;
   }
   // In-flight batches hold the old engine snapshot; the version bump keeps
   // their results out of the cache, so clearing here is race-free.
@@ -263,6 +291,7 @@ void Batcher::reload(std::shared_ptr<const TopKProvider> engine) {
     live_.reloads->add();
     std::lock_guard<std::mutex> lock(mutex_);
     live_.engineVersion->set(double(version_));
+    live_.modelSeq->set(double(modelSeq_));
   }
   {
     std::lock_guard<std::mutex> lock(statsMutex_);
@@ -280,6 +309,11 @@ ServeStats Batcher::stats() const {
   {
     std::lock_guard<std::mutex> lock(statsMutex_);
     s = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.modelVersion = version_;
+    s.modelSeq = modelSeq_;
   }
   s.elapsedSec = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - start_)

@@ -35,6 +35,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <functional>
 #include <future>
 #include <memory>
@@ -136,6 +137,12 @@ struct ServeStats {
   std::uint64_t flushFull = 0;
   std::uint64_t flushDeadline = 0;
   std::uint64_t reloads = 0;
+  /// Which model is live: the engine-swap generation (bumped by every
+  /// reload) and the producer-assigned tag of the loaded model (newest
+  /// delta seq baked into it; 0 until a tagged reload). Before these,
+  /// hot-swap visibility was log-scrape only.
+  std::uint64_t modelVersion = 0;
+  std::uint64_t modelSeq = 0;
   /// SLO watchdog state (all zero when the watchdog is disabled).
   double sloP99TargetMicros = 0.0;
   std::uint64_t sloBreaches = 0;
@@ -155,10 +162,27 @@ struct ServeStats {
   }
 };
 
+/// Freshness SLO snapshot of the streaming publisher feeding this batcher
+/// (stream/publisher.hpp fills one in): how many model publishes happened,
+/// what the live model has absorbed, and how stale it is now.
+struct FreshnessStats {
+  std::uint64_t publishes = 0;
+  /// Delta batches the online updater has applied.
+  std::uint64_t deltasApplied = 0;
+  /// Newest delta seq contained in the live (published) model.
+  std::uint64_t newestSeq = 0;
+  /// now - creation time of that delta, seconds; NaN before any publish.
+  double stalenessSec = std::numeric_limits<double>::quiet_NaN();
+  /// Last exact-fit probe of the online model; NaN if none ran.
+  double lastFitProbe = std::numeric_limits<double>::quiet_NaN();
+};
+
 /// Render `s` as a cstf-serve-report-v1 JSON document; `sharding`, when
-/// non-null, adds the sharded fabric's state (shards, replicas, failovers).
+/// non-null, adds the sharded fabric's state (shards, replicas, failovers);
+/// `freshness`, when non-null, adds the streaming-publisher SLO object.
 std::string serveReportJson(const ServeStats& s,
-                            const ShardedStats* sharding = nullptr);
+                            const ShardedStats* sharding = nullptr,
+                            const FreshnessStats* freshness = nullptr);
 
 class Batcher {
  public:
@@ -185,6 +209,11 @@ class Batcher {
   /// admitted may still be answered by the previous engine; results they
   /// compute are not cached.
   void reload(std::shared_ptr<const TopKProvider> engine);
+  /// Same, tagging the swap with the model's seq (the newest delta seq a
+  /// published snapshot contains) so stats()/the report can say *what*
+  /// is live, not just that a swap happened.
+  void reload(std::shared_ptr<const TopKProvider> engine,
+              std::uint64_t modelSeq);
 
   std::shared_ptr<const TopKProvider> engine() const;
   ServeStats stats() const;
@@ -232,6 +261,7 @@ class Batcher {
     metrics::Counter* sloRecoveries = nullptr;
     metrics::Gauge* queueDepth = nullptr;
     metrics::Gauge* engineVersion = nullptr;
+    metrics::Gauge* modelSeq = nullptr;
     metrics::Gauge* cacheHitRatio = nullptr;
     metrics::Gauge* sloInBreach = nullptr;
     metrics::Gauge* sloWindowP99 = nullptr;
@@ -252,6 +282,7 @@ class Batcher {
   std::deque<Pending> queue_;
   std::shared_ptr<const TopKProvider> engine_;
   std::uint64_t version_ = 0;
+  std::uint64_t modelSeq_ = 0;
   std::uint64_t batchesDispatched_ = 0;
   bool stop_ = false;
   bool dispatcherDead_ = false;

@@ -1,0 +1,222 @@
+#include "stream/delta_log.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/artifacts.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace cstf::stream {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kDeltaMagic[8] = {'C', 'S', 'T', 'F', 'D', 'L', 'T', '1'};
+constexpr std::uint32_t kDeltaVersion = 1;
+
+template <typename T>
+void putRaw(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T getRaw(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw Error("truncated delta stream");
+  return v;
+}
+
+/// Parse "delta-NNNNNNNN.bin"; nullopt for anything else.
+std::optional<std::uint64_t> deltaSeqOf(const std::string& name) {
+  constexpr char kPrefix[] = "delta-";
+  constexpr char kSuffix[] = ".bin";
+  if (name.size() <= sizeof(kPrefix) - 1 + sizeof(kSuffix) - 1) {
+    return std::nullopt;
+  }
+  if (name.rfind(kPrefix, 0) != 0) return std::nullopt;
+  if (name.compare(name.size() - 4, 4, kSuffix) != 0) return std::nullopt;
+  std::uint64_t seq = 0;
+  for (std::size_t i = sizeof(kPrefix) - 1; i < name.size() - 4; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+std::string deltaFileName(std::uint64_t seq) {
+  return strprintf("delta-%08llu.bin", static_cast<unsigned long long>(seq));
+}
+
+/// All delta files in the log, sorted ascending by filename seq.
+std::vector<std::pair<std::uint64_t, fs::path>> listDeltaFiles(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, fs::path>> files;
+  if (!fs::exists(dir)) return files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto seq = deltaSeqOf(entry.path().filename().string());
+    if (seq.has_value()) files.emplace_back(*seq, entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::uint64_t nowUnixMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void writeDelta(std::ostream& out, const tensor::Delta& d) {
+  d.validate();
+  out.write(kDeltaMagic, sizeof(kDeltaMagic));
+  putRaw<std::uint32_t>(out, kDeltaVersion);
+  putRaw<std::uint64_t>(out, d.seq);
+  putRaw<std::uint64_t>(out, d.createdUnixMicros);
+  putRaw<std::uint8_t>(out, static_cast<std::uint8_t>(d.dims.size()));
+  for (const Index dim : d.dims) putRaw<std::uint32_t>(out, dim);
+  putRaw<std::uint64_t>(out, d.entries.size());
+  for (const tensor::Nonzero& nz : d.entries) {
+    putRaw<std::uint8_t>(out, nz.order);
+    for (ModeId m = 0; m < nz.order; ++m) putRaw<std::uint32_t>(out, nz.idx[m]);
+    putRaw<double>(out, nz.val);
+  }
+  if (!out) throw Error("failed writing delta batch");
+}
+
+tensor::Delta readDelta(std::istream& in) {
+  char got[8];
+  in.read(got, sizeof(got));
+  if (!in || std::memcmp(got, kDeltaMagic, sizeof(got)) != 0) {
+    throw Error("not a CSTF delta batch (bad magic)");
+  }
+  const auto version = getRaw<std::uint32_t>(in);
+  CSTF_CHECK(version == kDeltaVersion, "unsupported delta version");
+  tensor::Delta d;
+  d.seq = getRaw<std::uint64_t>(in);
+  d.createdUnixMicros = getRaw<std::uint64_t>(in);
+  const auto order = getRaw<std::uint8_t>(in);
+  CSTF_CHECK(order > 0 && order <= kMaxOrder, "corrupt delta header");
+  d.dims.resize(order);
+  for (auto& dim : d.dims) dim = getRaw<std::uint32_t>(in);
+  const auto nEntries = getRaw<std::uint64_t>(in);
+  d.entries.reserve(static_cast<std::size_t>(nEntries));
+  for (std::uint64_t i = 0; i < nEntries; ++i) {
+    tensor::Nonzero nz;
+    nz.order = getRaw<std::uint8_t>(in);
+    CSTF_CHECK(nz.order == order, "corrupt delta entry");
+    for (ModeId m = 0; m < nz.order; ++m) {
+      nz.idx[m] = getRaw<std::uint32_t>(in);
+    }
+    nz.val = getRaw<double>(in);
+    d.entries.push_back(nz);
+  }
+  d.validate();
+  return d;
+}
+
+DeltaLog::DeltaLog(std::string dir) : dir_(std::move(dir)) {
+  CSTF_CHECK(!dir_.empty(), "delta log needs a directory");
+  fs::create_directories(dir_);
+}
+
+std::uint64_t DeltaLog::newestSeq() const {
+  const auto files = listDeltaFiles(dir_);
+  return files.empty() ? 0 : files.back().first;
+}
+
+std::string DeltaLog::append(const tensor::Delta& d) {
+  CSTF_CHECK(d.seq > 0, "delta seq 0 is reserved");
+  const std::uint64_t newest = newestSeq();
+  CSTF_CHECK(d.seq > newest,
+             strprintf("delta log %s: seq %llu not past newest %llu "
+                       "(sequence numbers are strictly monotone)",
+                       dir_.c_str(),
+                       static_cast<unsigned long long>(d.seq),
+                       static_cast<unsigned long long>(newest)));
+  tensor::Delta stamped = d;
+  if (stamped.createdUnixMicros == 0) {
+    stamped.createdUnixMicros = nowUnixMicros();
+  }
+  std::ostringstream buf;
+  writeDelta(buf, stamped);
+  const std::string path =
+      (fs::path(dir_) / deltaFileName(stamped.seq)).string();
+  CSTF_CHECK(writeFileAtomic(path, buf.str()),
+             "cannot write delta batch to " + path);
+  return path;
+}
+
+DeltaReadResult DeltaLog::readAfter(std::uint64_t afterSeq) const {
+  DeltaReadResult result;
+  struct Scanned {
+    std::uint64_t seq;
+    fs::path path;
+    std::optional<tensor::Delta> delta;
+    std::string error;
+  };
+  std::vector<Scanned> scanned;
+  for (const auto& [seq, path] : listDeltaFiles(dir_)) {
+    if (seq <= afterSeq) continue;
+    Scanned s{seq, path, std::nullopt, {}};
+    try {
+      std::ifstream in(path, std::ios::binary);
+      CSTF_CHECK(in.good(), "cannot open " + path.string());
+      s.delta = readDelta(in);
+    } catch (const Error& e) {
+      s.delta.reset();
+      s.error = e.what();
+    }
+    // A batch that read back fine but carries the wrong seq was relabeled,
+    // not torn (truncation never rewrites the header at the front), so this
+    // is a hard error even at the tail — tolerating it would replay the
+    // producer's history under the wrong order.
+    if (s.delta.has_value() && s.delta->seq != seq) {
+      throw Error(strprintf(
+          "delta log %s: header seq %llu disagrees with file name %s "
+          "(out-of-order or relabeled batch)",
+          dir_.c_str(), static_cast<unsigned long long>(s.delta->seq),
+          path.filename().string().c_str()));
+    }
+    scanned.push_back(std::move(s));
+  }
+  // Unreadable files are tolerable only as a tail: the batch has simply not
+  // fully arrived yet. A hole in the middle would make replay diverge from
+  // the producer's history, so it is a hard error.
+  std::size_t end = scanned.size();
+  while (end > 0 && !scanned[end - 1].delta.has_value()) --end;
+  for (std::size_t i = end; i < scanned.size(); ++i) {
+    CSTF_LOG_WARN("delta log %s: skipping corrupt tail %s: %s", dir_.c_str(),
+                  scanned[i].path.filename().string().c_str(),
+                  scanned[i].error.c_str());
+    ++result.skippedCorruptTail;
+  }
+  for (std::size_t i = 0; i < end; ++i) {
+    if (!scanned[i].delta.has_value()) {
+      throw Error(strprintf(
+          "delta log %s: corrupt batch %s before newer readable batches "
+          "(replay would skip history): %s",
+          dir_.c_str(), scanned[i].path.filename().string().c_str(),
+          scanned[i].error.c_str()));
+    }
+    result.deltas.push_back(std::move(*scanned[i].delta));
+  }
+  return result;
+}
+
+}  // namespace cstf::stream

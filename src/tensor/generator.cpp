@@ -151,6 +151,59 @@ CooTensor generateZipf(const std::vector<Index>& dims, std::size_t nnz,
   return generateRandom(o);
 }
 
+ZipfStream splitIntoStream(const CooTensor& full, std::size_t deltaBatches,
+                           double deltaFraction, std::uint64_t seed) {
+  CSTF_CHECK(deltaBatches > 0, "splitIntoStream: need >= 1 delta batch");
+  CSTF_CHECK(deltaFraction > 0.0 && deltaFraction < 1.0,
+             "splitIntoStream: deltaFraction must be in (0, 1)");
+  ZipfStream s;
+  s.deltas.resize(deltaBatches);
+  for (std::size_t b = 0; b < deltaBatches; ++b) {
+    s.deltas[b].seq = b + 1;
+    s.deltas[b].dims = full.dims();
+  }
+  // Assignment draws come from their own stream keyed off the generator
+  // seed, so the split is deterministic and independent of how `full` was
+  // sampled.
+  Pcg32 rng(mix64(seed ^ 0x5712ea3ULL));
+  std::vector<Nonzero> baseNzs;
+  baseNzs.reserve(full.nnz());
+  for (const Nonzero& nz : full.nonzeros()) {
+    if (rng.nextDouble() < deltaFraction) {
+      s.deltas[rng.nextBounded(static_cast<std::uint32_t>(deltaBatches))]
+          .entries.push_back(nz);
+    } else {
+      baseNzs.push_back(nz);
+    }
+  }
+  // Degenerate split (every draw landed on one side): keep both sides
+  // nonempty so downstream warm starts and appends are well-defined.
+  if (baseNzs.empty()) {
+    for (auto& d : s.deltas) {
+      if (d.entries.empty()) continue;
+      baseNzs.push_back(d.entries.back());
+      d.entries.pop_back();
+      break;
+    }
+  }
+  CSTF_CHECK(!baseNzs.empty(), "splitIntoStream: empty tensor");
+  s.base = CooTensor(full.dims(), std::move(baseNzs),
+                     full.name().empty() ? "stream-base"
+                                         : full.name() + "-base");
+  s.base.coalesce();
+  return s;
+}
+
+ZipfStream generateZipfStream(const std::vector<Index>& dims, std::size_t nnz,
+                              double skew, std::uint64_t seed,
+                              std::size_t deltaBatches,
+                              double deltaFraction) {
+  // The full tensor is bit-for-bit the plain generateZipf result; only the
+  // base/batch assignment comes from the split's own seeded stream.
+  return splitIntoStream(generateZipf(dims, nnz, skew, seed), deltaBatches,
+                         deltaFraction, seed);
+}
+
 CooTensor generateLowRank(const std::vector<Index>& dims, std::size_t rank,
                           std::size_t nnz, std::uint64_t seed, double noise) {
   CSTF_CHECK(!dims.empty() && dims.size() <= kMaxOrder,

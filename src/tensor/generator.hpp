@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "tensor/coo_tensor.hpp"
+#include "tensor/delta.hpp"
 
 namespace cstf::tensor {
 
@@ -48,6 +49,33 @@ std::vector<std::string> paperAnalogNames();
 /// and the skew-mitigation tests build their inputs through this knob.
 CooTensor generateZipf(const std::vector<Index>& dims, std::size_t nnz,
                        double skew, std::uint64_t seed = 42);
+
+/// A tensor split for streaming: a base tensor plus append batches.
+struct ZipfStream {
+  CooTensor base;
+  /// Disjoint delta batches with seq 1..N (createdUnixMicros left 0 for
+  /// the log writer to stamp). Replaying all of them over `base` yields
+  /// exactly generateZipf(dims, nnz, skew, seed).
+  std::vector<Delta> deltas;
+};
+
+/// The streaming knob on generateZipf: draw the same tensor the plain call
+/// would produce, then deterministically (seeded) assign each nonzero to
+/// the base (1 - deltaFraction of them, in expectation) or to one of
+/// `deltaBatches` disjoint append batches. Benches and tests use this to
+/// compare online replay against a full retrain on an identical stream.
+ZipfStream generateZipfStream(const std::vector<Index>& dims, std::size_t nnz,
+                              double skew, std::uint64_t seed,
+                              std::size_t deltaBatches,
+                              double deltaFraction = 0.25);
+
+/// The seeded split itself, applicable to any tensor (generateZipfStream is
+/// this over generateZipf; the CLI uses it to stream the paper analogs):
+/// each nonzero lands in one of `deltaBatches` disjoint append batches with
+/// probability `deltaFraction`, else in the base. Both sides are kept
+/// non-empty; replaying the deltas over the base recovers `full` exactly.
+ZipfStream splitIntoStream(const CooTensor& full, std::size_t deltaBatches,
+                           double deltaFraction, std::uint64_t seed);
 
 /// Build a low-rank ground-truth tensor from `rank` random Gaussian
 /// factors. With `nnz >= prod(dims)` every cell is emitted and the tensor

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <map>
+#include <set>
 
 namespace cstf::tensor {
 namespace {
@@ -143,6 +145,62 @@ TEST(Generator, LowRankNoiseChangesValues) {
     differ = clean.nonzeros()[i].val != noisy.nonzeros()[i].val;
   }
   EXPECT_TRUE(differ);
+}
+
+TEST(ZipfStream, UnionOfBaseAndDeltasIsThePlainTensor) {
+  const std::vector<Index> dims = {30, 20, 10};
+  const CooTensor full = generateZipf(dims, 800, 0.8, 77);
+  const ZipfStream s = generateZipfStream(dims, 800, 0.8, 77, 4);
+  EXPECT_GT(s.base.nnz(), 0u);
+  ASSERT_EQ(s.deltas.size(), 4u);
+  CooTensor replayed = materializeStream(s.base, s.deltas);
+  ASSERT_EQ(replayed.nnz(), full.nnz());
+  EXPECT_TRUE(replayed.nonzeros() == full.nonzeros())
+      << "replaying the split must recover the plain generateZipf tensor";
+}
+
+TEST(ZipfStream, SplitIsDeterministicAndSeeded) {
+  const std::vector<Index> dims = {25, 25, 25};
+  const ZipfStream a = generateZipfStream(dims, 500, 0.6, 5, 3);
+  const ZipfStream b = generateZipfStream(dims, 500, 0.6, 5, 3);
+  EXPECT_TRUE(a.base.nonzeros() == b.base.nonzeros());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(a.deltas[i].entries == b.deltas[i].entries) << i;
+  }
+  const ZipfStream c = generateZipfStream(dims, 500, 0.6, 6, 3);
+  EXPECT_FALSE(c.base.nonzeros() == a.base.nonzeros());
+}
+
+TEST(ZipfStream, BatchesAreDisjointWithMonotoneSeqs) {
+  const ZipfStream s = generateZipfStream({40, 30, 20}, 600, 0.9, 13, 5);
+  std::size_t total = s.base.nnz();
+  std::set<std::array<Index, kMaxOrder>> coords;
+  for (const Nonzero& nz : s.base.nonzeros()) coords.insert(nz.idx);
+  for (std::size_t b = 0; b < s.deltas.size(); ++b) {
+    EXPECT_EQ(s.deltas[b].seq, b + 1);
+    EXPECT_EQ(s.deltas[b].dims, s.base.dims());
+    s.deltas[b].validate();
+    total += s.deltas[b].entries.size();
+    for (const Nonzero& nz : s.deltas[b].entries) {
+      EXPECT_TRUE(coords.insert(nz.idx).second)
+          << "coordinate assigned to two pieces of the split";
+    }
+  }
+  EXPECT_EQ(total, 600u);
+  EXPECT_EQ(coords.size(), 600u);
+}
+
+TEST(ZipfStream, RejectsDegenerateKnobs) {
+  EXPECT_THROW(generateZipfStream({10, 10}, 50, 0.5, 1, 0), Error);
+  EXPECT_THROW(generateZipfStream({10, 10}, 50, 0.5, 1, 2, 0.0), Error);
+  EXPECT_THROW(generateZipfStream({10, 10}, 50, 0.5, 1, 2, 1.0), Error);
+}
+
+TEST(ZipfStream, KeepsBothSidesNonEmptyOnExtremeFraction) {
+  // deltaFraction ~1: nearly every draw lands in a delta, but the base
+  // must still be non-empty so a warm start exists.
+  const ZipfStream s = generateZipfStream({8, 8, 8}, 60, 0.5, 3, 2, 0.999);
+  EXPECT_GT(s.base.nnz(), 0u);
 }
 
 TEST(Generator, RejectsBadOptions) {

@@ -5,6 +5,7 @@
 //   cstf factor <tensor> [options]         run CP-ALS
 //   cstf query --model M --indices SPEC    point / top-k queries
 //   cstf serve-bench --model M [options]   closed-loop serving benchmark
+//   cstf stream --model M --deltas D       replay a delta log onto a model
 //
 // <tensor> is a FROSTT .tns path, a binary .bns path, or the name of a
 // built-in paper analog
@@ -85,6 +86,40 @@
 //   --slo-p99-us T  SLO watchdog: flag sliding-window p99 latency above
 //                   T microseconds (breach/recovery transitions are logged,
 //                   traced, and counted; 0 disables)
+//   --follow D      follow the delta log in directory D while serving: a
+//                   follower thread polls for new batches, applies them to
+//                   the model with the online updater, and hot-swaps the
+//                   refreshed model into the live batcher (zero dropped
+//                   queries across the swap); the report gains a
+//                   "freshness" object and the live registry the
+//                   cstf_staleness_sec gauge
+//   --base T        tensor the followed model was trained on (recommended
+//                   with --follow + als: row re-solves then see the full
+//                   slice history, not just the delta entries)
+//   --online-solver als|sgd  row-subset warm-start ALS (default) or the
+//                   SGD fallback for the follower / stream replay
+//   --publish-every N  publish after every N applied batches (default 1)
+//   --poll-ms M     follower poll interval in milliseconds (default 50)
+//
+// generate options (besides --scale): --delta-batches N with
+// --delta-dir D writes the analog as a streaming split instead: the base
+// tensor goes to <out>, and N disjoint append batches (seq 1..N) land in D
+// as a CSTFDLT1 delta log; --delta-fraction F sets the expected fraction
+// of nonzeros routed to the batches (default 0.25); --delta-interval-ms M
+// paces the appends M milliseconds apart, simulating a live producer (each
+// batch's createdUnixMicros is stamped at append time, so a follower sees
+// a real freshness sawtooth).
+//
+// stream options (offline, deterministic replay of a whole delta log):
+//   --model P       warm-start model (required)
+//   --deltas D      delta-log directory to replay (required)
+//   --base T, --online-solver S as for serve-bench --follow
+//   --als-sweeps N / --sgd-epochs N  per-batch solver effort
+//   --fit-probe-every K  exact-fit probe cadence in batches (0 = only the
+//                   final probe)
+//   --model-out P   export the updated model (CSTFMDL1)
+//   --report-out P  write a cstf-stream-report-v1 JSON document
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -101,6 +136,7 @@
 
 #include "common/artifacts.hpp"
 #include "common/heartbeat.hpp"
+#include "common/json.hpp"
 #include "common/metrics_registry.hpp"
 #include "common/parse.hpp"
 #include "common/rng.hpp"
@@ -110,6 +146,9 @@
 #include "serve/engine.hpp"
 #include "serve/model.hpp"
 #include "serve/sharded_engine.hpp"
+#include "stream/delta_log.hpp"
+#include "stream/online_updater.hpp"
+#include "stream/publisher.hpp"
 #include "tensor/generator.hpp"
 #include "tensor/io.hpp"
 #include "tensor/stats.hpp"
@@ -122,6 +161,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: cstf info <tensor> [--scale X]\n"
                "       cstf generate <analog> <out.tns> [--scale X]\n"
+               "                   [--delta-batches N --delta-dir D]\n"
+               "                   [--delta-fraction F] [--delta-interval-ms M]\n"
                "       cstf factor <tensor> [--rank R] [--iters N] [--tol T]\n"
                "                   [--backend coo|qcoo|bigtensor|reference]\n"
                "                   [--solver exact|sketched]\n"
@@ -149,7 +190,15 @@ int usage() {
                "                   [--cache-capacity C]\n"
                "                   [--seed S] [--report-out P] [--brute-force]\n"
                "                   [--metrics-out P] [--metrics-interval-ms N]\n"
-               "                   [--slo-p99-us T]\n");
+               "                   [--slo-p99-us T]\n"
+               "                   [--follow D] [--base T]\n"
+               "                   [--online-solver als|sgd]\n"
+               "                   [--publish-every N] [--poll-ms M]\n"
+               "                   [--model-out P]\n"
+               "       cstf stream --model P --deltas D [--base T]\n"
+               "                   [--online-solver als|sgd] [--als-sweeps N]\n"
+               "                   [--sgd-epochs N] [--fit-probe-every K]\n"
+               "                   [--model-out P] [--report-out P]\n");
   return 2;
 }
 
@@ -217,6 +266,20 @@ struct Args {
   std::string metricsOut;
   int metricsIntervalMs = 100;
   double sloP99Us = 0.0;
+  // streaming: generate splits, stream replay, serve-bench --follow
+  std::size_t deltaBatches = 0;
+  std::string deltaDir;
+  double deltaFraction = 0.25;
+  int deltaIntervalMs = 0;
+  std::string deltas;
+  std::string follow;
+  std::string base;
+  std::string onlineSolver = "als";
+  std::size_t publishEvery = 1;
+  int pollMs = 50;
+  int alsSweeps = 2;
+  int sgdEpochs = 3;
+  int fitProbeEvery = 0;
 };
 
 bool parseArgs(int argc, char** argv, Args& a) {
@@ -446,6 +509,72 @@ bool parseArgs(int argc, char** argv, Args& a) {
                      kDoubleMax)) {
         return false;
       }
+    } else if (arg == "--delta-batches") {
+      if (!parseFlag("--delta-batches", next("--delta-batches"),
+                     a.deltaBatches, 1, kSizeMax)) {
+        return false;
+      }
+    } else if (arg == "--delta-dir") {
+      const char* v = next("--delta-dir");
+      if (!v) return false;
+      a.deltaDir = v;
+    } else if (arg == "--delta-fraction") {
+      if (!parseFlag("--delta-fraction", next("--delta-fraction"),
+                     a.deltaFraction, 1e-9, 1.0 - 1e-9)) {
+        return false;
+      }
+    } else if (arg == "--delta-interval-ms") {
+      if (!parseFlag("--delta-interval-ms", next("--delta-interval-ms"),
+                     a.deltaIntervalMs, 0, kIntMax)) {
+        return false;
+      }
+    } else if (arg == "--deltas") {
+      const char* v = next("--deltas");
+      if (!v) return false;
+      a.deltas = v;
+    } else if (arg == "--follow") {
+      const char* v = next("--follow");
+      if (!v) return false;
+      a.follow = v;
+    } else if (arg == "--base") {
+      const char* v = next("--base");
+      if (!v) return false;
+      a.base = v;
+    } else if (arg == "--online-solver") {
+      const char* v = next("--online-solver");
+      if (!v) return false;
+      if (std::string(v) != "als" && std::string(v) != "sgd") {
+        std::fprintf(stderr,
+                     "invalid value '%s' for --online-solver (expected als "
+                     "or sgd)\n",
+                     v);
+        return false;
+      }
+      a.onlineSolver = v;
+    } else if (arg == "--publish-every") {
+      if (!parseFlag("--publish-every", next("--publish-every"),
+                     a.publishEvery, 1, kSizeMax)) {
+        return false;
+      }
+    } else if (arg == "--poll-ms") {
+      if (!parseFlag("--poll-ms", next("--poll-ms"), a.pollMs, 1, kIntMax)) {
+        return false;
+      }
+    } else if (arg == "--als-sweeps") {
+      if (!parseFlag("--als-sweeps", next("--als-sweeps"), a.alsSweeps, 1,
+                     kIntMax)) {
+        return false;
+      }
+    } else if (arg == "--sgd-epochs") {
+      if (!parseFlag("--sgd-epochs", next("--sgd-epochs"), a.sgdEpochs, 1,
+                     kIntMax)) {
+        return false;
+      }
+    } else if (arg == "--fit-probe-every") {
+      if (!parseFlag("--fit-probe-every", next("--fit-probe-every"),
+                     a.fitProbeEvery, 0, kIntMax)) {
+        return false;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -496,9 +625,53 @@ int cmdGenerate(const Args& a, const std::string& analog,
     return 2;
   }
   const tensor::CooTensor t = tensor::paperAnalog(analog, a.scale);
+  if (a.deltaBatches > 0) {
+    // Streaming split: base tensor to <out>, the batches into a delta log.
+    if (a.deltaDir.empty()) {
+      std::fprintf(stderr, "--delta-batches needs --delta-dir\n");
+      return 2;
+    }
+    const tensor::ZipfStream s =
+        tensor::splitIntoStream(t, a.deltaBatches, a.deltaFraction, a.seed);
+    tensor::writeTensorFile(outPath, s.base);
+    stream::DeltaLog log(a.deltaDir);
+    std::size_t deltaNnz = 0;
+    for (std::size_t b = 0; b < s.deltas.size(); ++b) {
+      if (b > 0 && a.deltaIntervalMs > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(a.deltaIntervalMs));
+      }
+      log.append(s.deltas[b]);
+      deltaNnz += s.deltas[b].entries.size();
+    }
+    std::printf("wrote %zu base nonzeros to %s and %zu batches (%zu "
+                "nonzeros) to %s\n",
+                s.base.nnz(), outPath.c_str(), s.deltas.size(), deltaNnz,
+                a.deltaDir.c_str());
+    return 0;
+  }
   tensor::writeTensorFile(outPath, t);
   std::printf("wrote %zu nonzeros to %s\n", t.nnz(), outPath.c_str());
   return 0;
+}
+
+/// Shared --online-solver/--als-sweeps/... plumbing for `stream` and
+/// `serve-bench --follow`.
+stream::OnlineUpdaterOptions onlineOptions(const Args& a) {
+  stream::OnlineUpdaterOptions o;
+  o.solver = stream::onlineSolverFromName(a.onlineSolver);
+  o.alsSweeps = a.alsSweeps;
+  o.sgdEpochs = a.sgdEpochs;
+  o.fitProbeEvery = a.fitProbeEvery;
+  o.seed = a.seed;
+  return o;
+}
+
+/// The base tensor for an online updater: --base when given, else empty
+/// (delta entries only).
+tensor::CooTensor loadBase(const Args& a, const std::vector<Index>& dims) {
+  if (a.base.empty()) return tensor::CooTensor(dims, {});
+  return loadTensor(a.base, a.scale);
 }
 
 int cmdFactor(const Args& a, const std::string& spec) {
@@ -709,6 +882,77 @@ int cmdQuery(const Args& a) {
   return 0;
 }
 
+/// Offline replay: apply every batch in the delta log to the model, in
+/// order, then report the exactly-probed fit. Deterministic — the same log
+/// and flags always produce the same updated model.
+int cmdStream(const Args& a) {
+  if (a.model.empty() || a.deltas.empty()) {
+    std::fprintf(stderr, "stream needs --model and --deltas\n");
+    return 2;
+  }
+  serve::CpModel model = serve::loadModelAuto(a.model);
+  const std::vector<Index> dims = model.dims;
+  stream::OnlineUpdater updater(std::move(model), loadBase(a, dims),
+                                onlineOptions(a));
+
+  const stream::DeltaLog log(a.deltas);
+  const stream::DeltaReadResult read = log.readAfter(0);
+  if (read.skippedCorruptTail > 0) {
+    std::fprintf(stderr, "skipped %zu corrupt tail batch(es)\n",
+                 read.skippedCorruptTail);
+  }
+  std::printf("stream: replaying %zu batches from %s (%s solver)\n",
+              read.deltas.size(), a.deltas.c_str(), a.onlineSolver.c_str());
+  for (const tensor::Delta& d : read.deltas) {
+    updater.apply(d);
+    const stream::OnlineUpdateStats& s = updater.stats();
+    if (std::isfinite(s.lastFitProbe) &&
+        a.fitProbeEvery > 0 &&
+        s.batchesApplied % std::uint64_t(a.fitProbeEvery) == 0) {
+      std::printf("  seq %llu  %zu entries  %s  fit %.6f\n",
+                  static_cast<unsigned long long>(d.seq), d.entries.size(),
+                  humanSeconds(s.lastBatchSec).c_str(), s.lastFitProbe);
+    } else {
+      std::printf("  seq %llu  %zu entries  %s\n",
+                  static_cast<unsigned long long>(d.seq), d.entries.size(),
+                  humanSeconds(s.lastBatchSec).c_str());
+    }
+  }
+  const double fit = updater.exactFit();
+  const stream::OnlineUpdateStats& s = updater.stats();
+  std::printf("applied %llu batches (%llu entries, %llu rows re-solved) in "
+              "%s; fit %.6f over %zu nonzeros\n",
+              static_cast<unsigned long long>(s.batchesApplied),
+              static_cast<unsigned long long>(s.entriesApplied),
+              static_cast<unsigned long long>(s.rowsRecomputed),
+              humanSeconds(s.totalApplySec).c_str(), fit,
+              updater.tensor().nnz());
+
+  if (!a.modelOut.empty()) {
+    std::printf("model written to %s\n",
+                serve::saveModel(a.modelOut, updater.snapshotModel()).c_str());
+  }
+  if (!a.reportOut.empty()) {
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "cstf-stream-report-v1");
+    w.kv("solver", a.onlineSolver);
+    w.kv("batches", s.batchesApplied);
+    w.kv("entries", s.entriesApplied);
+    w.kv("rowsRecomputed", s.rowsRecomputed);
+    w.kv("newestSeq", s.newestSeq);
+    w.kv("skippedCorruptTail", std::uint64_t(read.skippedCorruptTail));
+    w.kv("fit", fit);
+    w.kv("nnz", std::uint64_t(updater.tensor().nnz()));
+    w.kv("applySec", s.totalApplySec);
+    w.endObject();
+    if (!writeArtifact(a.reportOut, w.take(), "stream report")) {
+      throw Error("cannot write " + a.reportOut);
+    }
+  }
+  return 0;
+}
+
 int cmdServeBench(const Args& a) {
   if (a.model.empty()) {
     std::fprintf(stderr, "serve-bench needs --model\n");
@@ -725,6 +969,17 @@ int cmdServeBench(const Args& a) {
   CSTF_CHECK(a.shards > 0 || a.replicas == 1,
              "--replicas needs --shards");
   CSTF_CHECK(a.shards > 0 || a.killNode < 0, "--kill-node needs --shards");
+  CSTF_CHECK(a.follow.empty() || a.shards == 0,
+             "--follow hot-swaps the single-process engine; drop --shards");
+
+  // --follow: the online updater that the follower thread drives. It gets
+  // its own copy of the warm model (the serving copy is moved into the
+  // engine below).
+  std::unique_ptr<stream::OnlineUpdater> updater;
+  if (!a.follow.empty()) {
+    updater = std::make_unique<stream::OnlineUpdater>(
+        model, loadBase(a, model.dims), onlineOptions(a));
+  }
 
   // A fixed universe of request tuples with Zipf popularity: repeats are
   // what exercise coalescing and the result cache, mirroring the skewed
@@ -779,9 +1034,51 @@ int cmdServeBench(const Args& a) {
   opts.deadlineMicros = a.deadlineUs;
   serve::Batcher batcher(provider, opts);
 
+  // --follow: poll the delta log, apply new batches, and hot-swap the
+  // refreshed model into the batcher every --publish-every batches. The
+  // publisher persists to --model-out (when given) before each swap, and
+  // refreshing staleness every tick gives the cstf_staleness_sec gauge its
+  // sawtooth: climbing between publishes, dropping at each one.
+  std::unique_ptr<stream::ModelPublisher> publisher;
+  std::atomic<bool> stopFollower{false};
+  std::thread follower;
+  if (updater) {
+    stream::PublisherOptions po;
+    po.modelPath = a.modelOut;
+    publisher = std::make_unique<stream::ModelPublisher>(&batcher, po);
+    follower = std::thread([&] {
+      const stream::DeltaLog log(a.follow);
+      std::size_t pending = 0;
+      const auto drain = [&](bool flush) {
+        const stream::DeltaReadResult read =
+            log.readAfter(updater->stats().newestSeq);
+        for (const tensor::Delta& d : read.deltas) {
+          updater->apply(d);
+          if (++pending >= a.publishEvery) {
+            publisher->publish(*updater);
+            pending = 0;
+          }
+        }
+        if (flush && pending > 0) {
+          publisher->publish(*updater);
+          pending = 0;
+        }
+        publisher->refreshStaleness();
+      };
+      while (!stopFollower.load()) {
+        drain(/*flush=*/false);
+        std::this_thread::sleep_for(std::chrono::milliseconds(a.pollMs));
+      }
+      drain(/*flush=*/true);  // publish any remainder before reporting
+    });
+  }
+
   std::unique_ptr<Heartbeat> heartbeat = makeHeartbeat(a);
   if (heartbeat) {
     heartbeat->addCheck([&batcher] { batcher.checkSlo(); });
+    if (publisher) {
+      heartbeat->addCheck([&publisher] { publisher->refreshStaleness(); });
+    }
     heartbeat->start();
   }
 
@@ -858,12 +1155,30 @@ int cmdServeBench(const Args& a) {
     batcher.checkSlo();
   }
 
+  if (follower.joinable()) {
+    stopFollower.store(true);
+    follower.join();
+  }
+
   const serve::ServeStats stats = batcher.stats();
   serve::ShardedStats shardStats;
   if (sharded) shardStats = sharded->stats();
-  const std::string report =
-      serve::serveReportJson(stats, sharded ? &shardStats : nullptr);
+  serve::FreshnessStats fresh;
+  if (publisher) fresh = publisher->freshness();
+  const std::string report = serve::serveReportJson(
+      stats, sharded ? &shardStats : nullptr, publisher ? &fresh : nullptr);
   std::printf("%s\n", report.c_str());
+  if (publisher) {
+    const stream::OnlineUpdateStats& us = updater->stats();
+    std::fprintf(stderr,
+                 "followed %s: %llu batches applied, %llu publishes, newest "
+                 "seq %llu, staleness %.3fs\n",
+                 a.follow.c_str(),
+                 static_cast<unsigned long long>(us.batchesApplied),
+                 static_cast<unsigned long long>(fresh.publishes),
+                 static_cast<unsigned long long>(us.newestSeq),
+                 fresh.stalenessSec);
+  }
   std::fprintf(stderr,
                "served %llu of %llu (shed %llu, failed %llu, failovers "
                "%llu)\n",
@@ -903,6 +1218,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "serve-bench" && a.positional.empty()) {
       return cmdServeBench(a);
+    }
+    if (cmd == "stream" && a.positional.empty()) {
+      return cmdStream(a);
     }
   } catch (const JobAbortedError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

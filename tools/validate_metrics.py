@@ -20,6 +20,7 @@ exposition written next to it) produced by --metrics-out:
 Usage:
   validate_metrics.py run.ndjson [--prom run.ndjson.prom]
       [--min-snapshots N] [--require-counter NAME=MIN]...
+      [--require-gauge NAME]...
 
 Exit status 0 when valid, 1 with a diagnostic on the first violation.
 """
@@ -196,6 +197,10 @@ def main():
     ap.add_argument("--require-counter", action="append", default=[],
                     metavar="NAME=MIN",
                     help="require counter NAME >= MIN in the final snapshot")
+    ap.add_argument("--require-gauge", action="append", default=[],
+                    metavar="NAME",
+                    help="require gauge NAME present (finite) in the final "
+                         "snapshot")
     args = ap.parse_args()
 
     snapshots, counters, final = validate_ndjson(args.ndjson)
@@ -212,6 +217,15 @@ def main():
             fail(f"{args.ndjson}: required counter {name} never appeared")
         if got < want:
             fail(f"{args.ndjson}: counter {name} = {got}, need >= {want}")
+
+    # Finiteness of every gauge value is checked per line above; here only
+    # presence in the final snapshot matters (a gauge that vanished before
+    # shutdown is as useless to a scraper as one that never existed).
+    final_gauges = {g.get("name") for g in (final or {}).get("gauges", [])}
+    for name in args.require_gauge:
+        if name not in final_gauges:
+            fail(f"{args.ndjson}: required gauge {name} missing from the "
+                 "final snapshot")
 
     prom_series = validate_prom(args.prom) if args.prom else 0
     msg = f"validate_metrics: OK ({snapshots} snapshots, " \
